@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one registered experiment (one per paper table/figure),
+prints the reproduced table, and asserts the paper's qualitative *shape*
+(who wins, what grows, where the knees are) -- absolute numbers depend on
+the benchmark scale and host.
+
+Scale control: set ``REPRO_SCALE`` (e.g. ``0.06`` (default), ``0.2``, or
+``paper`` for the full Table 1 setup -- the latter takes hours in pure
+Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one experiment under pytest-benchmark and print its table."""
+
+    def _run(exp_id: str, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.table())
+        return result
+
+    return _run

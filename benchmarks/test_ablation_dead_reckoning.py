@@ -1,0 +1,14 @@
+"""Ablation bench: the dead-reckoning threshold delta (Section 3.4)."""
+
+
+def test_ablation_dead_reckoning(run_figure):
+    result = run_figure("ablation-delta")
+    messages = result.column("msgs/s")
+    errors = [e or 0.0 for e in result.column("error")]
+
+    # Larger thresholds suppress velocity relays: the largest delta sends
+    # no more messages than delta = 0.
+    assert messages[-1] <= messages[0]
+    # Accuracy is the price: delta = 0 is exact, large deltas are not.
+    assert errors[0] == 0.0
+    assert errors[-1] >= errors[0]

@@ -1,0 +1,19 @@
+"""Ablation bench: query grouping under a skewed focal distribution."""
+
+
+def test_ablation_grouping(run_figure):
+    result = run_figure("ablation-grouping")
+    off_row, on_row = result.rows
+    assert off_row[0] == "off" and on_row[0] == "on"
+
+    headers = result.headers
+    downlink = headers.index("downlink/s")
+    uplink = headers.index("uplink/s")
+    evals = headers.index("evals")
+
+    # Grouping bundles broadcasts of queries sharing (focal, region) and
+    # bitmap-packs result reports: strictly less traffic in both
+    # directions, and fewer object-side containment evaluations.
+    assert on_row[downlink] <= off_row[downlink]
+    assert on_row[uplink] <= off_row[uplink]
+    assert on_row[evals] <= off_row[evals]

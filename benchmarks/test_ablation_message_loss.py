@@ -1,0 +1,22 @@
+"""Ablation bench: protocol robustness under wireless message loss."""
+
+
+def test_ablation_message_loss(run_figure):
+    result = run_figure("ablation-loss")
+    rates = result.column("loss-rate")
+    errors = [e or 0.0 for e in result.column("error")]
+
+    # Zero loss is exact (the EQP + delta=0 guarantee).
+    assert rates[0] == 0.0
+    assert errors[0] == 0.0
+
+    # Loss hurts, but degradation is graceful: the error stays roughly
+    # proportional to the loss rate (no cliff), and even at 40% loss the
+    # mean missing fraction stays below total failure.
+    assert errors[-1] >= errors[0]
+    assert errors[-1] < 0.85
+    for rate, error in zip(rates[1:], errors[1:]):
+        assert error <= 2.5 * rate
+
+    # The loss injector actually dropped traffic at non-zero rates.
+    assert all(v > 0 for v in result.column("lost-uplinks")[1:])

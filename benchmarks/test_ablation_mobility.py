@@ -1,0 +1,20 @@
+"""Ablation bench: mobility-model robustness (random waypoint)."""
+
+
+def test_ablation_mobility(run_figure):
+    result = run_figure("ablation-mobility")
+    headers = result.headers
+    naive = headers.index("naive")
+    eqp = headers.index("eqp")
+    lqp = headers.index("lqp")
+    eqp_error = headers.index("eqp-error")
+
+    for row in result.rows:
+        # MobiEyes beats naive central reporting under both mobility models,
+        # lazy stays at or below eager, and EQP remains exact.
+        assert row[eqp] < row[naive]
+        assert row[lqp] <= row[eqp]
+        assert (row[eqp_error] or 0.0) == 0.0
+
+    kinds = [row[0] for row in result.rows]
+    assert kinds == ["velocity-change", "waypoint"]

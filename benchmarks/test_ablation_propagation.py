@@ -1,0 +1,19 @@
+"""Ablation bench: eager vs lazy propagation at the default setup."""
+
+
+def test_ablation_propagation(run_figure):
+    result = run_figure("ablation-propagation")
+    eager_row, lazy_row = result.rows
+    headers = result.headers
+    msgs = headers.index("msgs/s")
+    uplink = headers.index("uplink/s")
+    error = headers.index("error")
+
+    # Lazy saves messages, mostly on the uplink.
+    assert lazy_row[msgs] <= eager_row[msgs]
+    assert lazy_row[uplink] < eager_row[uplink]
+
+    # Eager propagation (with delta = 0) is exact; lazy's error stays a
+    # small fraction.
+    assert (eager_row[error] or 0.0) == 0.0
+    assert (lazy_row[error] or 0.0) <= 0.2

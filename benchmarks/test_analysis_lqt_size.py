@@ -1,0 +1,16 @@
+"""Analysis bench: the closed-form LQT model tracks simulation."""
+
+
+def test_analysis_lqt_size(run_figure):
+    result = run_figure("analysis-lqt")
+    simulated = result.column("simulated")
+    modeled = result.column("model")
+
+    # Both grow with alpha.
+    assert simulated[-1] > simulated[0]
+    assert modeled[-1] > modeled[0]
+
+    # Pointwise agreement within a small factor (boundary clipping makes
+    # the model an over-estimate for huge monitoring regions).
+    for sim, mod in zip(simulated, modeled):
+        assert mod / 3.0 <= sim <= mod * 3.0

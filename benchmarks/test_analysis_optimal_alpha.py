@@ -1,0 +1,25 @@
+"""Analysis bench: the reconstructed analytical alpha model vs simulation."""
+
+
+def test_analysis_optimal_alpha(run_figure):
+    result = run_figure("analysis-alpha")
+    alphas = result.column("alpha")
+    simulated = result.column("simulated")
+    modeled = result.column("model-total")
+
+    # Both curves agree on the qualitative story: the smallest alpha is
+    # never the cheapest point (left side of the U).
+    assert simulated[0] > min(simulated)
+    assert modeled[0] > min(modeled)
+
+    # The model's argmin lands within one sweep step of the simulated one.
+    sim_best = alphas[simulated.index(min(simulated))]
+    model_best = alphas[modeled.index(min(modeled))]
+    idx_sim = alphas.index(sim_best)
+    idx_model = alphas.index(model_best)
+    assert abs(idx_sim - idx_model) <= 1
+
+    # Absolute agreement within a small constant factor across the sweep
+    # (the model omits result-churn reports).
+    for sim, mod in zip(simulated, modeled):
+        assert mod / 4.0 <= sim <= mod * 4.0

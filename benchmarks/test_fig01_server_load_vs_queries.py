@@ -1,0 +1,25 @@
+"""Reproduces Figure 1: server load vs number of queries (log scale)."""
+
+
+def test_fig01_server_load_vs_queries(run_figure):
+    result = run_figure("fig01")
+    object_index = result.column("object-index")
+    query_index = result.column("query-index")
+    eqp = result.column("mobieyes-eqp")
+    lqp = result.column("mobieyes-lqp")
+
+    # MobiEyes sits far below both centralized approaches at every sweep
+    # point (the paper reports up to two orders of magnitude).
+    for row in range(len(eqp)):
+        assert eqp[row] < object_index[row]
+        assert eqp[row] < query_index[row]
+        assert lqp[row] < object_index[row]
+        assert lqp[row] < query_index[row]
+
+    # The object index is insensitive to the query count (its cost is the
+    # per-object index update); the query index grows with it.
+    assert max(object_index) < 3.0 * min(object_index)
+    assert query_index[-1] > query_index[0]
+
+    # Lazy propagation is no more expensive than eager on the server.
+    assert sum(lqp) <= sum(eqp) * 1.25

@@ -1,0 +1,17 @@
+"""Reproduces Figure 2: result error of lazy query propagation."""
+
+
+def test_fig02_lqp_error(run_figure):
+    result = run_figure("fig02")
+    alpha_headers = [h for h in result.headers if h.startswith("error")]
+    columns = {h: result.column(h) for h in alpha_headers}
+
+    # All errors are valid fractions.
+    for column in columns.values():
+        assert all(v is None or 0.0 <= v <= 1.0 for v in column)
+
+    # Error increases as alpha shrinks (more cell crossings are missed):
+    # the smallest-alpha column dominates the largest-alpha column.
+    smallest = [v or 0.0 for v in columns[alpha_headers[0]]]
+    largest = [v or 0.0 for v in columns[alpha_headers[-1]]]
+    assert sum(smallest) >= sum(largest)

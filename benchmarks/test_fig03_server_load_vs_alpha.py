@@ -1,0 +1,18 @@
+"""Reproduces Figure 3: effect of alpha on server load."""
+
+
+def test_fig03_server_load_vs_alpha(run_figure):
+    result = run_figure("fig03")
+    alphas = result.column("alpha")
+    eqp = result.column("mobieyes-eqp")
+    object_index = result.column("object-index")
+    query_index = result.column("query-index")
+
+    # MobiEyes stays below both centralized baselines across the sweep.
+    for row in range(len(alphas)):
+        assert eqp[row] < object_index[row]
+        assert eqp[row] < query_index[row]
+
+    # Too-small alpha hurts: frequent cell crossings dominate.  The paper's
+    # U-shape means the smallest alpha is never the cheapest point.
+    assert eqp[0] > min(eqp)

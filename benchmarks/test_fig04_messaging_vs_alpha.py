@@ -1,0 +1,17 @@
+"""Reproduces Figure 4: effect of alpha on messaging cost."""
+
+
+def test_fig04_messaging_vs_alpha(run_figure):
+    result = run_figure("fig04")
+    count_headers = [h for h in result.headers if h.startswith("msgs")]
+
+    for header in count_headers:
+        column = result.column(header)
+        # Small alpha is penalized by frequent cell-change traffic: the
+        # smallest alpha is never the sweep's minimum (left side of the U).
+        assert column[0] > min(column)
+
+    # More queries cost more messages at every alpha.
+    lightest = result.column(count_headers[0])
+    heaviest = result.column(count_headers[-1])
+    assert all(h >= l for h, l in zip(heaviest, lightest))

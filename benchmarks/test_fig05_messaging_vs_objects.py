@@ -1,0 +1,20 @@
+"""Reproduces Figure 5: effect of the number of objects on messaging."""
+
+
+def test_fig05_messaging_vs_objects(run_figure):
+    result = run_figure("fig05")
+    naive = result.column("naive")
+    optimal = result.column("central-optimal")
+    eqp = result.column("mobieyes-eqp")
+    lqp = result.column("mobieyes-lqp")
+
+    for row in range(len(naive)):
+        # Naive reporting is the worst approach everywhere.
+        assert naive[row] >= optimal[row]
+        assert naive[row] >= eqp[row]
+        # Lazy propagation never sends more than eager.
+        assert lqp[row] <= eqp[row]
+
+    # Naive grows with the population: within the first query-count block
+    # the largest population costs measurably more than the smallest.
+    assert naive[2] > naive[0]

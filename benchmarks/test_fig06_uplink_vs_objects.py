@@ -1,0 +1,19 @@
+"""Reproduces Figure 6: uplink messaging cost vs number of objects."""
+
+
+def test_fig06_uplink_vs_objects(run_figure):
+    result = run_figure("fig06")
+    naive = result.column("naive")
+    optimal = result.column("central-optimal")
+    eqp = result.column("mobieyes-eqp")
+    lqp = result.column("mobieyes-lqp")
+
+    for row in range(len(naive)):
+        # LQP slashes uplink traffic: only focal objects talk to the
+        # server.  It must beat every other approach on every row.
+        assert lqp[row] < naive[row]
+        assert lqp[row] < optimal[row]
+        assert lqp[row] < eqp[row]
+        # Naive uplink is the heaviest.
+        assert naive[row] >= optimal[row]
+        assert naive[row] >= eqp[row]

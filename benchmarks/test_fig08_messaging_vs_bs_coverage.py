@@ -1,0 +1,14 @@
+"""Reproduces Figure 8: effect of base-station coverage on messaging."""
+
+
+def test_fig08_messaging_vs_bs_coverage(run_figure):
+    result = run_figure("fig08")
+    count_headers = [h for h in result.headers if h.startswith("msgs")]
+
+    for header in count_headers:
+        column = result.column(header)
+        # Bigger coverage areas need fewer broadcasts per monitoring
+        # region: the largest deployment never costs more than the
+        # smallest, and the effect saturates (tail is nearly flat).
+        assert column[-1] <= column[0]
+        assert column[-1] <= column[-2] * 1.05

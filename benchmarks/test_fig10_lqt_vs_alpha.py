@@ -1,0 +1,19 @@
+"""Reproduces Figure 10: average LQT size vs alpha."""
+
+
+def test_fig10_lqt_vs_alpha(run_figure):
+    result = run_figure("fig10")
+    lqt_headers = [h for h in result.headers if h.startswith("lqt")]
+
+    for header in lqt_headers:
+        column = result.column(header)
+        # LQT size grows with alpha (monitoring regions inflate).
+        assert column[-1] > column[0]
+        # Super-linear growth: the last doubling of alpha gains more than
+        # the first one in absolute terms.
+        assert (column[-1] - column[-2]) >= (column[1] - column[0]) * 0.5
+
+    # More queries => larger LQTs at every alpha.
+    lightest = result.column(lqt_headers[0])
+    heaviest = result.column(lqt_headers[-1])
+    assert all(h >= l for h, l in zip(heaviest, lightest))

@@ -1,0 +1,18 @@
+"""Reproduces Figure 11: average LQT size vs number of queries."""
+
+
+def test_fig11_lqt_vs_queries(run_figure):
+    result = run_figure("fig11")
+    lqt_headers = [h for h in result.headers if h.startswith("lqt")]
+
+    for header in lqt_headers:
+        column = result.column(header)
+        # Linear growth in the query count: strictly more queries never
+        # shrink the average LQT, and the largest sweep point clearly
+        # exceeds the smallest.
+        assert column[-1] > column[0]
+
+    # Larger alpha gives larger LQTs at every query count.
+    small_alpha = result.column(lqt_headers[0])
+    large_alpha = result.column(lqt_headers[-1])
+    assert all(lg >= sm for lg, sm in zip(large_alpha, small_alpha))

@@ -1,0 +1,16 @@
+"""Reproduces Figure 12: average LQT size vs query-radius factor."""
+
+
+def test_fig12_lqt_vs_radius(run_figure):
+    result = run_figure("fig12")
+    sizes = result.column("mean-lqt-size")
+
+    # Monotone non-decreasing in the radius factor...
+    assert all(b >= a * 0.98 for a, b in zip(sizes, sizes[1:]))
+    # ...with clear growth across the whole sweep.
+    assert sizes[-1] > sizes[0]
+
+    # The paper's step behaviour: radius changes smaller than the cell
+    # size are invisible -- factors 0.5 and 1.0 keep radii within one cell
+    # quantum at the default alpha, giving (near-)identical LQT sizes.
+    assert abs(sizes[1] - sizes[0]) <= 0.25 * sizes[1]

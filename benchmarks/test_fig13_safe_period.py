@@ -1,0 +1,21 @@
+"""Reproduces Figure 13: effect of the safe-period optimization."""
+
+
+def test_fig13_safe_period(run_figure):
+    result = run_figure("fig13")
+    evals_off = result.column("evals(off)")
+    evals_on = result.column("evals(on)")
+    skipped = result.column("skipped(on)")
+
+    # The optimization never evaluates more than the baseline.
+    assert all(on <= off for on, off in zip(evals_on, evals_off))
+
+    # At the largest alpha (wide monitoring regions, long distances) the
+    # safe period skips a substantial share of evaluations.
+    assert skipped[-1] > 0
+    assert evals_on[-1] < evals_off[-1]
+
+    # Relative savings grow with alpha (the paper's headline effect).
+    saved_small = 1.0 - evals_on[0] / max(evals_off[0], 1)
+    saved_large = 1.0 - evals_on[-1] / max(evals_off[-1], 1)
+    assert saved_large >= saved_small

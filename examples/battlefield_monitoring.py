@@ -1,0 +1,100 @@
+"""Battlefield monitoring: the paper's motivating query MQ1.
+
+    "Give me the number of friendly units within 5 miles radius around me
+     during the next 2 hours"
+
+posted by marching units.  Demonstrates eager vs lazy query propagation on
+the same scenario: LQP sends far fewer uplink messages (radio silence
+matters in the field) at the price of a small, measured result error.
+
+Run:  python examples/battlefield_monitoring.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro import (
+    Circle,
+    MobiEyesConfig,
+    MobiEyesSystem,
+    MovingObject,
+    Point,
+    PropagationMode,
+    QuerySpec,
+    Rect,
+    SimulationRng,
+    Vector,
+)
+
+FIELD = Rect(0, 0, 60, 60)
+NUM_FRIENDLY = 150
+NUM_NEUTRAL = 100
+NUM_SCOUTS = 10  # scouts post the MQ1-style queries
+TWO_HOURS_STEPS = 240  # 2 h of 30 s steps
+
+
+@dataclass(frozen=True)
+class FriendlyFilter:
+    """Matches friendly units only."""
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        return props.get("allegiance") == "friendly"
+
+
+def build_field(rng: SimulationRng) -> list[MovingObject]:
+    objects: list[MovingObject] = []
+    oid = 0
+    for allegiance, count, speed in (
+        ("friendly", NUM_FRIENDLY, (5, 25)),
+        ("neutral", NUM_NEUTRAL, (2, 15)),
+    ):
+        for _ in range(count):
+            objects.append(
+                MovingObject(
+                    oid=oid,
+                    pos=Point(rng.uniform(FIELD.lx, FIELD.ux), rng.uniform(FIELD.ly, FIELD.uy)),
+                    vel=Vector.from_polar(rng.direction(), rng.uniform(*speed)),
+                    max_speed=30.0,
+                    props={"allegiance": allegiance},
+                )
+            )
+            oid += 1
+    return objects
+
+
+def run_campaign(propagation: PropagationMode) -> tuple[float, float, float | None]:
+    rng = SimulationRng(42)
+    objects = build_field(rng)
+    config = MobiEyesConfig(
+        uod=FIELD, alpha=6.0, base_station_side=12.0, propagation=propagation
+    )
+    system = MobiEyesSystem(
+        config, objects, rng.fork(1), velocity_changes_per_step=25, track_accuracy=True
+    )
+    for oid in range(NUM_SCOUTS):  # the first NUM_SCOUTS units are scouts
+        system.install_query(QuerySpec(oid=oid, region=Circle(0, 0, 5.0), filter=FriendlyFilter()))
+    system.run(TWO_HOURS_STEPS // 4)  # 30 simulated minutes keeps the demo snappy
+    metrics = system.metrics
+    return (
+        metrics.messages_per_second(),
+        metrics.uplink_messages_per_second(),
+        metrics.mean_result_error(),
+    )
+
+
+def main() -> None:
+    print(f"{NUM_SCOUTS} scouts tracking friendly units within 5 miles")
+    print(f"{NUM_FRIENDLY} friendly + {NUM_NEUTRAL} neutral units on a 60x60 mi field\n")
+    print("propagation  msgs/s  uplink/s  mean-error")
+    for mode in (PropagationMode.EAGER, PropagationMode.LAZY):
+        total, uplink, error = run_campaign(mode)
+        err = "0" if not error else f"{error:.4f}"
+        print(f"{mode.value:>11}  {total:6.2f}  {uplink:8.2f}  {err:>10}")
+    print("\nLazy propagation keeps non-focal units radio-silent on cell")
+    print("crossings; they pick up new queries from the next broadcast.")
+
+
+if __name__ == "__main__":
+    main()

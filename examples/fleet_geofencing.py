@@ -1,0 +1,136 @@
+"""Fleet geofencing: moving geofences around convoy leaders.
+
+A logistics operator runs several convoys; every truck must stay within an
+escort radius of its convoy leader, and dispatch wants a live list of the
+trucks *outside* the fence (= leader's query result complement).  Multiple
+fence radii per leader (warning at 3 mi, violation at 6 mi) make the
+queries *groupable MQs* (same focal object), so this example also shows
+the effect of the query-grouping and safe-period optimizations on
+object-side work and message counts.
+
+Run:  python examples/fleet_geofencing.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro import (
+    Circle,
+    MobiEyesConfig,
+    MobiEyesSystem,
+    MovingObject,
+    Point,
+    QuerySpec,
+    Rect,
+    SimulationRng,
+    Vector,
+)
+
+REGION = Rect(0, 0, 80, 80)
+NUM_CONVOYS = 5
+TRUCKS_PER_CONVOY = 12
+WARNING_RADIUS = 3.0
+VIOLATION_RADIUS = 6.0
+
+
+@dataclass(frozen=True)
+class ConvoyFilter:
+    """Matches trucks of one convoy."""
+
+    convoy: int
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        return props.get("convoy") == self.convoy
+
+
+def build_fleet(rng: SimulationRng) -> tuple[list[MovingObject], list[int]]:
+    objects: list[MovingObject] = []
+    leaders: list[int] = []
+    oid = 0
+    for convoy in range(NUM_CONVOYS):
+        anchor = Point(rng.uniform(10, 70), rng.uniform(10, 70))
+        heading = rng.direction()
+        leaders.append(oid)
+        for rank in range(TRUCKS_PER_CONVOY):
+            jitter = Vector.from_polar(rng.direction(), rng.uniform(0.0, 4.0))
+            objects.append(
+                MovingObject(
+                    oid=oid,
+                    pos=Point(anchor.x + jitter.x, anchor.y + jitter.y),
+                    vel=Vector.from_polar(heading, rng.uniform(35, 55)),
+                    max_speed=60.0,
+                    props={"convoy": convoy, "rank": rank},
+                )
+            )
+            oid += 1
+    return objects, leaders
+
+
+def run_fleet(grouping: bool, safe_period: bool) -> dict[str, float]:
+    rng = SimulationRng(99)
+    objects, leaders = build_fleet(rng)
+    config = MobiEyesConfig(
+        uod=REGION,
+        alpha=8.0,
+        base_station_side=16.0,
+        grouping=grouping,
+        safe_period=safe_period,
+    )
+    system = MobiEyesSystem(
+        config, objects, rng.fork(1), velocity_changes_per_step=8, track_accuracy=True
+    )
+    fences: dict[int, tuple[int, int]] = {}
+    for convoy, leader in enumerate(leaders):
+        keep = ConvoyFilter(convoy)
+        warning = system.install_query(
+            QuerySpec(oid=leader, region=Circle(0, 0, WARNING_RADIUS), filter=keep)
+        )
+        violation = system.install_query(
+            QuerySpec(oid=leader, region=Circle(0, 0, VIOLATION_RADIUS), filter=keep)
+        )
+        fences[leader] = (warning, violation)
+    system.run(60)
+
+    # Report the stragglers of each convoy at the end of the run.
+    stragglers = {}
+    for convoy, leader in enumerate(leaders):
+        _warning, violation = fences[leader]
+        inside = system.result(violation)
+        members = {o.oid for o in objects if o.props["convoy"] == convoy and o.oid != leader}
+        stragglers[convoy] = sorted(members - inside)
+
+    metrics = system.metrics
+    return {
+        "stragglers": stragglers,
+        "msgs_per_s": metrics.messages_per_second(),
+        "evaluations": metrics.total_evaluated_queries(),
+        "skipped": metrics.total_skipped_by_safe_period(),
+        "error": metrics.mean_result_error(),
+    }
+
+
+def main() -> None:
+    print(f"{NUM_CONVOYS} convoys x {TRUCKS_PER_CONVOY} trucks, fences at "
+          f"{WARNING_RADIUS} and {VIOLATION_RADIUS} miles\n")
+    print("grouping  safe-period  msgs/s  evaluations  skipped  error")
+    baseline = None
+    for grouping in (False, True):
+        for safe_period in (False, True):
+            out = run_fleet(grouping, safe_period)
+            if baseline is None:
+                baseline = out
+            print(
+                f"{'on' if grouping else 'off':>8}  {'on' if safe_period else 'off':>11}  "
+                f"{out['msgs_per_s']:6.2f}  {out['evaluations']:11d}  "
+                f"{out['skipped']:7d}  {out['error']}"
+            )
+    print("\nstragglers outside the violation fence (last configuration):")
+    out = run_fleet(True, True)
+    for convoy, ids in out["stragglers"].items():
+        print(f"  convoy {convoy}: {ids if ids else 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""MobiEyes reproduction: distributed processing of continuously moving
+queries on moving objects (Gedik & Liu, EDBT 2004).
+
+Public entry points:
+
+- :class:`repro.core.MobiEyesSystem` -- the distributed system (the paper's
+  contribution), driven as a time-stepped simulation.
+- :class:`repro.baselines.CentralizedSystem` -- the centralized baselines
+  (object index / query index; naive / central-optimal reporting).
+- :mod:`repro.workload` -- the paper's Table 1 workload generator.
+- :mod:`repro.experiments` -- one registered experiment per paper figure.
+"""
+
+from repro.core import MobiEyesConfig, MobiEyesSystem, PropagationMode, QuerySpec
+from repro.geometry import Circle, Point, Rect, Vector
+from repro.mobility import MovingObject
+from repro.sim import SimulationRng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circle",
+    "MobiEyesConfig",
+    "MobiEyesSystem",
+    "MovingObject",
+    "Point",
+    "PropagationMode",
+    "QuerySpec",
+    "Rect",
+    "SimulationRng",
+    "Vector",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Analytical models: optimal-alpha messaging cost and expected LQT size."""
+
+from repro.analysis.alpha_model import AlphaCostModel
+from repro.analysis.lqt_model import LqtSizeModel
+
+__all__ = ["AlphaCostModel", "LqtSizeModel"]

@@ -1,0 +1,64 @@
+"""Analytical model of the expected LQT size (Figs. 10-12 in closed form).
+
+An object holds query ``q`` in its LQT exactly when (a) its current grid
+cell lies inside ``q``'s monitoring region and (b) it passes ``q``'s
+filter.  For a circle of radius ``r`` the monitoring region is the block of
+cells intersecting the bounding box of side ``alpha + 2 r``; averaged over
+focal positions within a cell, its geometric footprint is a square of side
+``2 (alpha + r)`` (one extra cell per axis beyond the bounding box, since
+closed cells touching the box boundary are included).  With objects uniform
+over the universe of discourse of area ``A``,
+
+.. math::
+
+    E[|LQT|] \\approx nmq \\cdot selectivity \\cdot \\frac{(2 (alpha + r))^2}{A}
+
+which is linear in the query count (Fig. 11), grows quadratically -- the
+paper says "exponentially" -- in alpha (Fig. 10), and steps with the radius
+only through the cell quantization the closed form smooths over (Fig. 12).
+Boundary clipping makes the model an over-estimate when monitoring regions
+are large relative to the universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import zipf_weights
+from repro.workload.params import SimulationParameters
+
+
+@dataclass(frozen=True, slots=True)
+class LqtSizeModel:
+    """Closed-form expected LQT size for the Table 1 workload."""
+
+    num_queries: int
+    mean_radius: float
+    selectivity: float
+    area_sq_miles: float
+
+    @staticmethod
+    def from_params(params: SimulationParameters) -> "LqtSizeModel":
+        """Derive the model inputs from a Table 1 parameter set."""
+        weights = zipf_weights(len(params.radius_means), params.radius_zipf_exponent)
+        mean_radius = sum(w * r for w, r in zip(weights, params.radius_means))
+        return LqtSizeModel(
+            num_queries=params.num_queries,
+            mean_radius=mean_radius * params.radius_factor,
+            selectivity=params.query_selectivity,
+            area_sq_miles=params.area_sq_miles,
+        )
+
+    def monitoring_footprint_area(self, alpha: float) -> float:
+        """Expected geometric footprint (mi^2) of one monitoring region,
+        ignoring boundary clipping."""
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        side = 2.0 * (alpha + self.mean_radius)
+        return side * side
+
+    def expected_lqt_size(self, alpha: float, num_queries: int | None = None) -> float:
+        """Expected number of queries in a uniformly placed object's LQT."""
+        nmq = self.num_queries if num_queries is None else num_queries
+        fraction = min(1.0, self.monitoring_footprint_area(alpha) / self.area_sq_miles)
+        return nmq * self.selectivity * fraction

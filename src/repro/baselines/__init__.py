@@ -1,0 +1,31 @@
+"""Centralized baselines: object/query indexing, naive/optimal reporting."""
+
+from repro.baselines.centralized import (
+    CentralizedConfig,
+    CentralizedSystem,
+    IndexingMode,
+    ReportingMode,
+)
+from repro.baselines.object_index import ObjectIndexEngine
+from repro.baselines.query_index import QueryIndexEngine
+from repro.baselines.reporting import (
+    BITS_POSITION_REPORT,
+    BITS_STATE_REPORT,
+    CentralOptimalReporting,
+    NaiveReporting,
+    ReportingPolicy,
+)
+
+__all__ = [
+    "BITS_POSITION_REPORT",
+    "BITS_STATE_REPORT",
+    "CentralOptimalReporting",
+    "CentralizedConfig",
+    "CentralizedSystem",
+    "IndexingMode",
+    "NaiveReporting",
+    "ObjectIndexEngine",
+    "QueryIndexEngine",
+    "ReportingMode",
+    "ReportingPolicy",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface for the MobiEyes reproduction.
+
+Usage::
+
+    python -m repro list                         # list experiments
+    python -m repro run fig04                    # reproduce one figure
+    python -m repro run all --scale 0.05         # everything, custom scale
+    python -m repro params [--scale 0.06]        # show Table 1 (scaled)
+    python -m repro simulate --objects 400 --queries 40 --steps 30
+
+``run`` prints each experiment's table (the same output the benchmark
+harness produces); ``simulate`` runs a single ad-hoc MobiEyes simulation
+and prints a metrics summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.core import PropagationMode
+from repro.experiments import EXPERIMENTS, TITLES, run_experiment
+from repro.experiments.runner import run_mobieyes
+from repro.metrics.report import format_table
+from repro.workload import bench_defaults, paper_defaults
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [(exp_id, TITLES[exp_id]) for exp_id in EXPERIMENTS]
+    print(format_table(("experiment", "title"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    exp_ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in exp_ids:
+        started = time.perf_counter()
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.steps is not None:
+            from repro.experiments.runner import DEFAULT_WARMUP
+
+            kwargs["steps"] = args.steps
+            kwargs["warmup"] = min(DEFAULT_WARMUP, args.steps // 4)
+        result = run_experiment(exp_id, **kwargs)
+        print(result.table())
+        if args.save:
+            from repro.experiments.io import save_result
+
+            target = Path(args.save)
+            if target.suffix:  # a file: only valid for a single experiment
+                if len(exp_ids) > 1:
+                    print("--save must be a directory when running 'all'", file=sys.stderr)
+                    return 2
+                written = save_result(result, target)
+            else:
+                target.mkdir(parents=True, exist_ok=True)
+                written = save_result(result, target / f"{exp_id}.csv")
+            print(f"  saved {written}")
+        if args.chart:
+            numeric = {}
+            for header in result.headers[1:]:
+                values = result.column(header)
+                if all(isinstance(v, (int, float)) for v in values):
+                    numeric[header] = values
+            if numeric:
+                from repro.viz import line_chart
+
+                print()
+                print(line_chart(numeric))
+        print(f"  ({time.perf_counter() - started:.1f}s)")
+        print()
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    params = paper_defaults() if args.scale is None else paper_defaults().scaled(args.scale)
+    rows = [
+        ("ts (s)", params.time_step_seconds),
+        ("alpha (mi)", params.alpha),
+        ("no", params.num_objects),
+        ("nmq", params.num_queries),
+        ("nmo", params.velocity_changes_per_step),
+        ("area (mi^2)", params.area_sq_miles),
+        ("uod side (mi)", round(params.side_miles, 2)),
+        ("alen (mi)", params.base_station_side),
+        ("qradius (mi)", str(params.radius_means)),
+        ("qselect", params.query_selectivity),
+        ("mospeed (mph)", str(params.max_speeds)),
+    ]
+    print(format_table(("parameter", "value"), rows, title="Table 1 simulation parameters"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scale = args.objects / paper_defaults().num_objects
+    params = paper_defaults().scaled(scale)
+    if args.queries is not None:
+        from repro.experiments.runner import with_queries
+
+        params = with_queries(params, args.queries)
+    propagation = PropagationMode.LAZY if args.lazy else PropagationMode.EAGER
+    started = time.perf_counter()
+    system = run_mobieyes(
+        params,
+        steps=args.steps,
+        warmup=min(args.steps // 4, 5),
+        propagation=propagation,
+        track_accuracy=args.accuracy,
+    )
+    elapsed = time.perf_counter() - started
+    metrics = system.metrics
+    rows = [
+        ("objects", params.num_objects),
+        ("queries", params.num_queries),
+        ("steps", args.steps),
+        ("propagation", propagation.value),
+        ("messages/s", metrics.messages_per_second()),
+        ("uplink/s", metrics.uplink_messages_per_second()),
+        ("downlink/s", metrics.downlink_messages_per_second()),
+        ("mean LQT size", metrics.mean_lqt_size()),
+        ("server s/step", metrics.mean_server_seconds()),
+        ("power/object (W)", metrics.mean_power_watts_per_object()),
+        ("result error", metrics.mean_result_error() if args.accuracy else "-"),
+        ("wall time (s)", round(elapsed, 2)),
+    ]
+    print(format_table(("metric", "value"), rows, title="MobiEyes simulation"))
+    if args.render:
+        from repro.viz import render_world
+
+        print()
+        print(render_world(system))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+    from repro.experiments.runner import DEFAULT_STEPS
+
+    kwargs = {"scale": args.scale, "steps": args.steps or DEFAULT_STEPS}
+    if args.output == "-":
+        write_report(sys.stdout, **kwargs)
+        return 0
+    with open(args.output, "w") as handle:
+        write_report(handle, **kwargs)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MobiEyes (EDBT 2004) reproduction: experiments and simulations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig04, or 'all'")
+    run.add_argument("--scale", type=float, default=None, help="workload scale (1.0 = paper)")
+    run.add_argument("--steps", type=int, default=None, help="simulated steps per run")
+    run.add_argument("--chart", action="store_true", help="draw an ASCII chart of the table")
+    run.add_argument(
+        "--save",
+        default=None,
+        help="save the table: a .csv/.json file, or a directory (one csv per experiment)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    params = sub.add_parser("params", help="print the Table 1 parameters")
+    params.add_argument("--scale", type=float, default=None)
+    params.set_defaults(func=_cmd_params)
+
+    simulate = sub.add_parser("simulate", help="run one ad-hoc MobiEyes simulation")
+    simulate.add_argument("--objects", type=int, default=bench_defaults().num_objects)
+    simulate.add_argument("--queries", type=int, default=None)
+    simulate.add_argument("--steps", type=int, default=30)
+    simulate.add_argument("--lazy", action="store_true", help="use lazy query propagation")
+    simulate.add_argument(
+        "--accuracy", action="store_true", help="track result error against the oracle"
+    )
+    simulate.add_argument(
+        "--render", action="store_true", help="draw an ASCII map of the final world state"
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write the EXPERIMENTS.md report"
+    )
+    report.add_argument("--output", default="EXPERIMENTS.md", help="output path ('-' = stdout)")
+    report.add_argument("--scale", type=float, default=None)
+    report.add_argument("--steps", type=int, default=None)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

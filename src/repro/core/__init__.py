@@ -1,0 +1,54 @@
+"""The MobiEyes distributed moving-query protocol (the paper's contribution)."""
+
+from repro.core.client import ClientStats, MobiEyesClient
+from repro.core.config import MobiEyesConfig
+from repro.core.propagation import PropagationMode
+from repro.core.query import (
+    AndFilter,
+    MovingQuery,
+    NotFilter,
+    OrFilter,
+    PropertyEqualsFilter,
+    QueryFilter,
+    QueryId,
+    QuerySpec,
+    TrueFilter,
+)
+from repro.core.safe_period import safe_period_hours
+from repro.core.server import MobiEyesServer
+from repro.core.system import MobiEyesSystem
+from repro.core.tables import (
+    FocalObjectTable,
+    LocalQueryTable,
+    LqtEntry,
+    ReverseQueryIndex,
+    ServerQueryTable,
+    SqtEntry,
+)
+from repro.core.transport import SimulatedTransport
+
+__all__ = [
+    "AndFilter",
+    "ClientStats",
+    "NotFilter",
+    "OrFilter",
+    "PropertyEqualsFilter",
+    "FocalObjectTable",
+    "LocalQueryTable",
+    "LqtEntry",
+    "MobiEyesClient",
+    "MobiEyesConfig",
+    "MobiEyesServer",
+    "MobiEyesSystem",
+    "MovingQuery",
+    "PropagationMode",
+    "QueryFilter",
+    "QueryId",
+    "QuerySpec",
+    "ReverseQueryIndex",
+    "ServerQueryTable",
+    "SimulatedTransport",
+    "SqtEntry",
+    "TrueFilter",
+    "safe_period_hours",
+]

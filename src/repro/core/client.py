@@ -1,0 +1,332 @@
+"""The moving-object side of MobiEyes (paper Sections 3.5, 3.6, 4).
+
+Each moving object runs a :class:`MobiEyesClient` that:
+
+- detects its own grid-cell crossings and reports them (always under eager
+  propagation; only when it is a focal object under lazy propagation);
+- when it is a focal object, runs dead reckoning each step and relays its
+  motion state to the server when the deviation exceeds ``delta``;
+- keeps a local query table (LQT) of the queries whose monitoring region
+  covers its cell, installed from server broadcasts;
+- periodically evaluates every LQT query by predicting the focal object's
+  position, and differentially reports target-set changes (with the query
+  bitmap when grouping is enabled);
+- applies the safe-period optimization: after finding itself outside a
+  query region it computes the worst-case earliest time it could possibly
+  enter and skips evaluations until then.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.config import MobiEyesConfig
+from repro.geometry import Circle, Vector
+from repro.core.messages import (
+    CellChangeReport,
+    FocalRoleNotification,
+    MotionStateRequest,
+    MotionStateResponse,
+    QueryDescriptor,
+    QueryInstallBroadcast,
+    QueryInstallList,
+    QueryRemoveBroadcast,
+    QueryUpdateBroadcast,
+    ResultChangeReport,
+    VelocityChangeBroadcast,
+    VelocityChangeReport,
+)
+from repro.core.query import QueryId
+from repro.core.safe_period import safe_period_hours
+from repro.core.tables import LocalQueryTable, LqtEntry
+from repro.core.transport import SimulatedTransport
+from repro.grid import Grid
+from repro.mobility.model import MovingObject, ObjectId
+from repro.sim.clock import SimulationClock
+
+
+@dataclass
+class ClientStats:
+    """Per-object processing counters, sampled by the metric collectors."""
+
+    evaluated_queries: int = 0  # containment checks actually performed
+    skipped_by_safe_period: int = 0
+    skipped_by_grouping: int = 0
+    processing_seconds: float = 0.0
+    uplinks_sent: int = 0
+
+    def reset(self) -> "ClientStats":
+        """Reset the accumulated state."""
+        snapshot = ClientStats(
+            evaluated_queries=self.evaluated_queries,
+            skipped_by_safe_period=self.skipped_by_safe_period,
+            skipped_by_grouping=self.skipped_by_grouping,
+            processing_seconds=self.processing_seconds,
+            uplinks_sent=self.uplinks_sent,
+        )
+        self.evaluated_queries = 0
+        self.skipped_by_safe_period = 0
+        self.skipped_by_grouping = 0
+        self.processing_seconds = 0.0
+        self.uplinks_sent = 0
+        return snapshot
+
+
+class MobiEyesClient:
+    """Object-side protocol state machine for one moving object."""
+
+    def __init__(
+        self,
+        obj: MovingObject,
+        grid: Grid,
+        transport: SimulatedTransport,
+        config: MobiEyesConfig,
+    ) -> None:
+        self.obj = obj
+        self.grid = grid
+        self.transport = transport
+        self.config = config
+        self.lqt = LocalQueryTable()
+        self.has_mq = False
+        self.last_cell = grid.cell_index(obj.pos)
+        # The motion state other parties believe this object to have; only
+        # meaningful while the object is focal.
+        self._relayed_state = obj.snapshot()
+        self.stats = ClientStats()
+        transport.attach_client(obj.oid, self)
+
+    @property
+    def oid(self) -> ObjectId:
+        """This client's object identifier."""
+        return self.obj.oid
+
+    # ------------------------------------------------------ report phase
+
+    def report_phase(self, clock: SimulationClock) -> None:
+        """Detect and report cell changes and significant velocity changes."""
+        now = clock.now_hours
+        current_cell = self.grid.cell_index(self.obj.pos)
+        if current_cell != self.last_cell:
+            self._handle_own_cell_change(current_cell, now)
+        if self.has_mq:
+            deviation = self.obj.pos.distance_to(self._relayed_state.predict(now))
+            if deviation > self.config.dead_reckoning_threshold:
+                self._relay_motion_state(now)
+
+    def _handle_own_cell_change(self, new_cell: tuple[int, int], now: float) -> None:
+        prev_cell = self.last_cell
+        self.last_cell = new_cell
+        # Drop queries whose monitoring region no longer covers this cell;
+        # leaving a monitoring region while being a target is reported so
+        # the server-side result stays clean.
+        leave_changes: dict[QueryId, bool] = {}
+        for entry in self.lqt.entries():
+            if not entry.mon_region.contains(new_cell):
+                self.lqt.remove(entry.qid)
+                if entry.is_target:
+                    leave_changes[entry.qid] = False
+        if leave_changes:
+            self._send_result_changes(leave_changes)
+        # Under lazy propagation only focal objects report cell changes.
+        if self.config.propagation.is_lazy and not self.has_mq:
+            return
+        state = self.obj.snapshot() if self.has_mq else None
+        if state is not None:
+            self._relayed_state = state
+        self._uplink(
+            CellChangeReport(oid=self.oid, prev_cell=prev_cell, new_cell=new_cell, state=state)
+        )
+
+    def _relay_motion_state(self, now: float) -> None:
+        state = self.obj.snapshot()
+        self._relayed_state = state
+        self._uplink(VelocityChangeReport(oid=self.oid, state=state))
+
+    # -------------------------------------------------- evaluation phase
+
+    def evaluation_phase(self, clock: SimulationClock) -> None:
+        """Process the LQT (paper Section 3.6, with Section 4 optimizations)."""
+        started = time.perf_counter()
+        now = clock.now_hours
+        changes_by_focal: dict[ObjectId, dict[QueryId, bool]] = {}
+        if self.config.grouping:
+            for focal_oid, group in self.lqt.by_focal().items():
+                changed = self._process_group(group, now)
+                if changed:
+                    changes_by_focal[focal_oid] = changed
+        else:
+            for entry in self.lqt.entries():
+                changed = self._process_group([entry], now)
+                if changed:
+                    changes_by_focal.setdefault(entry.oid, {}).update(changed)
+        self.stats.processing_seconds += time.perf_counter() - started
+
+        if self.config.grouping:
+            for changed in changes_by_focal.values():
+                self._send_result_changes(changed)
+        else:
+            for changed in changes_by_focal.values():
+                for qid, flag in changed.items():
+                    self._send_result_changes({qid: flag})
+
+    def _process_group(self, group: list[LqtEntry], now: float) -> dict[QueryId, bool]:
+        """Evaluate one focal group (reach-descending); returns changes.
+
+        With grouping, the focal position is predicted once per group, and
+        once the object's distance to the focal object exceeds a query's
+        *reach* (the region's maximal extent from the binding point; the
+        radius for circles) every remaining smaller query in the group is
+        implied outside without a containment check -- the paper's
+        "consider queries with smaller radiuses only if inside the larger".
+        """
+        if group and group[0].is_static:
+            return self._process_static_entries(group, now)
+        changes: dict[QueryId, bool] = {}
+        predicted = None
+        dist_sq = 0.0
+        outside_reach = False
+        eval_period = self.config.eval_period_steps * self.config.step_seconds / 3600.0
+        for entry in group:
+            if self.config.safe_period and entry.ptm > now:
+                self.stats.skipped_by_safe_period += 1
+                continue
+            if predicted is None:
+                predicted = entry.focal_state.predict(now)
+                dist_sq = self.obj.pos.distance_squared_to(predicted)
+            reach = entry.reach
+            if outside_reach:
+                # Implied by a larger region's miss; no containment check.
+                inside = False
+                self.stats.skipped_by_grouping += 1
+            else:
+                # Squared-space compare, identical arithmetic to the circle
+                # containment check, so boundary cases agree with the oracle.
+                beyond_reach = dist_sq > reach * reach
+                inside = (not beyond_reach) and self._contains(entry, predicted)
+                self.stats.evaluated_queries += 1
+                if self.config.grouping and beyond_reach:
+                    # Entries are sorted by reach descending: all smaller
+                    # regions are outside too.
+                    outside_reach = True
+            if not inside and self.config.safe_period:
+                sp = safe_period_hours(
+                    math.sqrt(dist_sq), reach, self.obj.max_speed, entry.focal_max_speed
+                )
+                if sp > eval_period:
+                    entry.ptm = now + sp
+            if inside != entry.is_target:
+                entry.is_target = inside
+                changes[entry.qid] = inside
+        return changes
+
+    def _process_static_entries(self, group: list[LqtEntry], now: float) -> dict[QueryId, bool]:
+        """Evaluate static (fixed-region) queries.
+
+        No focal prediction and no reach short-circuit (the regions share
+        no focal object); the safe period uses the distance to the region's
+        bounding rectangle -- a lower bound on the distance to the region --
+        and only this object's own maximum speed (the region cannot move).
+        """
+        changes: dict[QueryId, bool] = {}
+        eval_period = self.config.eval_period_steps * self.config.step_seconds / 3600.0
+        for entry in group:
+            if self.config.safe_period and entry.ptm > now:
+                self.stats.skipped_by_safe_period += 1
+                continue
+            inside = entry.region.contains(self.obj.pos)
+            self.stats.evaluated_queries += 1
+            if not inside and self.config.safe_period:
+                gap = entry.region.bounding_rect().distance_to_point(self.obj.pos)
+                if self.obj.max_speed > 0:
+                    sp = gap / self.obj.max_speed
+                elif gap > 0:
+                    sp = math.inf
+                else:
+                    sp = 0.0
+                if sp > eval_period:
+                    entry.ptm = now + sp
+            if inside != entry.is_target:
+                entry.is_target = inside
+                changes[entry.qid] = inside
+        return changes
+
+    def _contains(self, entry: LqtEntry, predicted_focal) -> bool:
+        """Exact containment of this object in the query region centered at
+        the predicted focal position (cheap radius test for circles)."""
+        region = entry.region
+        if isinstance(region, Circle):
+            dx = self.obj.pos.x - predicted_focal.x
+            dy = self.obj.pos.y - predicted_focal.y
+            return dx * dx + dy * dy <= region.r * region.r
+        moved = region.translated(Vector(predicted_focal.x, predicted_focal.y))
+        return moved.contains(self.obj.pos)
+
+    def _send_result_changes(self, changes: dict[QueryId, bool]) -> None:
+        self._uplink(ResultChangeReport(oid=self.oid, changes=dict(changes)))
+
+    def _uplink(self, message: object) -> None:
+        self.stats.uplinks_sent += 1
+        self.transport.uplink(message)
+
+    # ----------------------------------------------------------- downlink
+
+    def on_downlink(self, message: object) -> None:
+        """Handle a server broadcast or one-to-one message."""
+        if isinstance(message, (QueryInstallBroadcast, QueryUpdateBroadcast)):
+            self._on_query_broadcast(message.queries)
+        elif isinstance(message, VelocityChangeBroadcast):
+            self._on_velocity_broadcast(message)
+        elif isinstance(message, QueryRemoveBroadcast):
+            for qid in message.qids:
+                self.lqt.remove(qid)
+        elif isinstance(message, QueryInstallList):
+            if message.oid == self.oid:
+                self._on_query_broadcast(message.queries)
+        elif isinstance(message, FocalRoleNotification):
+            if message.oid == self.oid:
+                self.has_mq = message.has_mq
+        elif isinstance(message, MotionStateRequest):
+            if message.oid == self.oid:
+                state = self.obj.snapshot()
+                self._relayed_state = state
+                self._uplink(
+                    MotionStateResponse(oid=self.oid, state=state, max_speed=self.obj.max_speed)
+                )
+        else:
+            raise TypeError(f"unexpected downlink message {type(message).__name__}")
+
+    def _on_query_broadcast(self, descriptors: tuple[QueryDescriptor, ...]) -> None:
+        """Install / refresh / drop queries per the broadcast descriptors."""
+        leave_changes: dict[QueryId, bool] = {}
+        for desc in descriptors:
+            if desc.oid is not None and desc.oid == self.oid:
+                continue  # an object is never a target of its own query
+            covered = desc.mon_region.contains(self.last_cell)
+            if not covered:
+                removed = self.lqt.remove(desc.qid)
+                if removed is not None and removed.is_target:
+                    leave_changes[desc.qid] = False
+                continue
+            existing = self.lqt.get(desc.qid) if desc.qid in self.lqt else None
+            if existing is not None:
+                existing.focal_state = desc.focal_state
+                existing.focal_max_speed = desc.focal_max_speed
+                existing.mon_region = desc.mon_region
+                existing.ptm = 0.0  # focal moved: the safe period is void
+            elif desc.filter.matches(self.obj.props):
+                self.lqt.install(LqtEntry.from_descriptor(desc))
+        if leave_changes:
+            self._send_result_changes(leave_changes)
+
+    def _on_velocity_broadcast(self, message: VelocityChangeBroadcast) -> None:
+        for qid in message.qids:
+            if qid in self.lqt:
+                entry = self.lqt.get(qid)
+                entry.focal_state = message.state
+                entry.ptm = 0.0  # prediction basis changed: re-evaluate
+        # Lazy propagation: the expanded broadcast lets objects that changed
+        # cells install the queries they missed.
+        if message.descriptors:
+            self._on_query_broadcast(message.descriptors)

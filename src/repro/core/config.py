@@ -1,0 +1,63 @@
+"""Configuration of a MobiEyes deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Rect
+from repro.core.propagation import PropagationMode
+from repro.network.radio import RadioModel
+
+
+@dataclass(frozen=True, slots=True)
+class MobiEyesConfig:
+    """All knobs of the distributed MobiEyes system.
+
+    Attributes:
+        uod: the universe of discourse rectangle.
+        alpha: grid cell side length (miles); the paper's key tuning knob.
+        step_seconds: simulation time step (paper: 30 s).
+        base_station_side: lattice pitch of the base-station deployment
+            (the paper's ``alen``; miles).
+        propagation: eager or lazy query propagation.
+        dead_reckoning_threshold: the paper's ``delta`` (miles) -- focal
+            objects relay their motion state when the true position deviates
+            from the broadcast prediction by more than this.  ``0`` relays
+            on any deviation (exact predictions under linear motion).
+        grouping: enable query grouping (server-side bundling of queries
+            sharing a focal object and monitoring region; object-side shared
+            evaluation with the query bitmap in result reports).
+        safe_period: enable the safe-period optimization (Section 4.2).
+        eval_period_steps: object-side query evaluation period, in steps.
+        static_beacon_steps: under *lazy* propagation, static queries have
+            no focal-object broadcasts to heal missed installs, so the
+            server re-broadcasts their descriptors every this many steps
+            (0 disables beaconing).  Ignored under eager propagation.
+        radio: energy model for message-size accounting.
+    """
+
+    uod: Rect
+    alpha: float = 5.0
+    step_seconds: float = 30.0
+    base_station_side: float = 10.0
+    propagation: PropagationMode = PropagationMode.EAGER
+    dead_reckoning_threshold: float = 0.0
+    grouping: bool = True
+    safe_period: bool = False
+    eval_period_steps: int = 1
+    static_beacon_steps: int = 10
+    radio: RadioModel = field(default_factory=RadioModel)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.step_seconds <= 0:
+            raise ValueError("step_seconds must be positive")
+        if self.base_station_side <= 0:
+            raise ValueError("base_station_side must be positive")
+        if self.dead_reckoning_threshold < 0:
+            raise ValueError("dead_reckoning_threshold must be non-negative")
+        if self.eval_period_steps < 1:
+            raise ValueError("eval_period_steps must be at least 1")
+        if self.static_beacon_steps < 0:
+            raise ValueError("static_beacon_steps must be non-negative")

@@ -1,0 +1,268 @@
+"""Protocol messages between moving objects and the MobiEyes server.
+
+Every message knows its size in bits so the power-consumption experiments
+(paper Fig. 9) can account message *sizes* rather than counts.  Field widths
+are plain engineering choices (32-bit ids, 32-bit fixed-point coordinates,
+compact cell indices); the paper does not publish its exact encoding, and
+only the *relative* sizes matter for the reproduced trends.
+
+Uplink messages (object -> server):
+    :class:`VelocityChangeReport`, :class:`CellChangeReport`,
+    :class:`ResultChangeReport`, :class:`MotionStateResponse`.
+
+Downlink messages (server -> objects, broadcast or one-to-one):
+    :class:`QueryInstallBroadcast`, :class:`QueryUpdateBroadcast`,
+    :class:`QueryRemoveBroadcast`, :class:`VelocityChangeBroadcast`,
+    :class:`FocalRoleNotification`, :class:`QueryInstallList`,
+    :class:`MotionStateRequest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Shape
+from repro.grid import CellIndex, CellRange
+from repro.mobility.model import MotionState, ObjectId
+from repro.core.query import QueryFilter, QueryId
+
+# Field widths in bits.
+BITS_HEADER = 64
+BITS_OID = 32
+BITS_QID = 32
+BITS_COORD = 32
+BITS_TIME = 32
+BITS_CELL = 32  # packed (i, j)
+BITS_RADIUS = 32
+BITS_FILTER = 32
+BITS_BOOL = 8  # byte-aligned flag
+BITS_MOTION_STATE = 4 * BITS_COORD + BITS_TIME  # pos + vel + timestamp
+BITS_CELL_RANGE = 2 * BITS_CELL  # (lo_i, lo_j) .. (hi_i, hi_j)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryDescriptor:
+    """The per-query payload shipped inside install/update broadcasts.
+
+    For *static* queries (fixed region, no focal object) ``oid`` and
+    ``focal_state`` are ``None`` and the focal fields are not shipped.
+    """
+
+    qid: QueryId
+    oid: ObjectId | None
+    region: Shape
+    filter: QueryFilter
+    focal_state: MotionState | None
+    focal_max_speed: float
+    mon_region: CellRange
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this is a static (fixed-region) query."""
+        return self.oid is None
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        bits = BITS_QID + BITS_RADIUS + BITS_FILTER + BITS_CELL_RANGE
+        if not self.is_static:
+            bits += BITS_OID + BITS_MOTION_STATE + BITS_COORD  # + focal max speed
+        else:
+            bits += 2 * BITS_COORD  # absolute region anchor
+        return bits
+
+
+# ------------------------------------------------------------------ uplink
+
+
+@dataclass(frozen=True, slots=True)
+class VelocityChangeReport:
+    """Focal object -> server: significant velocity-vector change."""
+
+    oid: ObjectId
+    state: MotionState
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_MOTION_STATE
+
+
+@dataclass(frozen=True, slots=True)
+class CellChangeReport:
+    """Object -> server: it crossed into a new grid cell.
+
+    Focal objects include their motion state so the server can refresh the
+    FOT without a round trip.
+    """
+
+    oid: ObjectId
+    prev_cell: CellIndex
+    new_cell: CellIndex
+    state: MotionState | None = None
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        bits = BITS_HEADER + BITS_OID + 2 * BITS_CELL
+        if self.state is not None:
+            bits += BITS_MOTION_STATE
+        return bits
+
+
+@dataclass(frozen=True, slots=True)
+class ResultChangeReport:
+    """Object -> server: differential query-result update.
+
+    ``changes`` maps query id -> whether the sender is now a target.  With
+    query grouping enabled a single report carries the whole *query bitmap*
+    of a group sharing one focal object; without grouping each report holds
+    a single query's flag.
+    """
+
+    oid: ObjectId
+    changes: dict[QueryId, bool] = field(default_factory=dict)
+
+    @property
+    def bits(self) -> int:
+        # One qid identifies the group (or the query); the remaining
+        # queries of a group cost one bitmap bit each, rounded up to bytes.
+        """Wire size of this message in bits."""
+        n = max(1, len(self.changes))
+        bitmap_bits = ((n + 7) // 8) * 8
+        return BITS_HEADER + BITS_OID + BITS_QID + bitmap_bits
+
+
+@dataclass(frozen=True, slots=True)
+class MotionStateResponse:
+    """Object -> server: reply to a :class:`MotionStateRequest`."""
+
+    oid: ObjectId
+    state: MotionState
+    max_speed: float
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_MOTION_STATE + BITS_COORD
+
+
+# ---------------------------------------------------------------- downlink
+
+
+@dataclass(frozen=True, slots=True)
+class QueryInstallBroadcast:
+    """Server -> monitoring region: install these queries.
+
+    Carries one or more query descriptors (more than one when server-side
+    grouping bundles queries sharing a focal object and monitoring region).
+    """
+
+    queries: tuple[QueryDescriptor, ...]
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + sum(q.bits for q in self.queries)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryUpdateBroadcast:
+    """Server -> old+new monitoring region: a focal object changed cells.
+
+    Receivers inside the new monitoring region (re)install / refresh the
+    queries; receivers outside drop them.
+    """
+
+    queries: tuple[QueryDescriptor, ...]
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + sum(q.bits for q in self.queries)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRemoveBroadcast:
+    """Server -> monitoring region: these queries were uninstalled."""
+
+    qids: tuple[QueryId, ...]
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_QID * len(self.qids)
+
+
+@dataclass(frozen=True, slots=True)
+class VelocityChangeBroadcast:
+    """Server -> monitoring region: fresh focal motion state.
+
+    Under *eager* propagation only ``(qids, oid, state)`` are needed --
+    receivers already hold the query descriptors.  Under *lazy* propagation
+    the broadcast is expanded with the full descriptors so objects that
+    entered the monitoring region since the last broadcast can install the
+    queries they missed.
+    """
+
+    oid: ObjectId
+    state: MotionState
+    qids: tuple[QueryId, ...]
+    descriptors: tuple[QueryDescriptor, ...] = ()
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        bits = BITS_HEADER + BITS_OID + BITS_MOTION_STATE + BITS_QID * len(self.qids)
+        bits += sum(d.bits for d in self.descriptors)
+        return bits
+
+
+@dataclass(frozen=True, slots=True)
+class FocalRoleNotification:
+    """Server -> one object: you are (no longer) a focal object (hasMQ)."""
+
+    oid: ObjectId
+    has_mq: bool
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_BOOL
+
+
+@dataclass(frozen=True, slots=True)
+class QueryInstallList:
+    """Server -> one object: queries to install after its cell change (EQP)."""
+
+    oid: ObjectId
+    queries: tuple[QueryDescriptor, ...]
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + sum(q.bits for q in self.queries)
+
+
+@dataclass(frozen=True, slots=True)
+class MotionStateRequest:
+    """Server -> one object: send me your position and velocity."""
+
+    oid: ObjectId
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID
+
+
+UplinkMessage = VelocityChangeReport | CellChangeReport | ResultChangeReport | MotionStateResponse
+DownlinkMessage = (
+    QueryInstallBroadcast
+    | QueryUpdateBroadcast
+    | QueryRemoveBroadcast
+    | VelocityChangeBroadcast
+    | FocalRoleNotification
+    | QueryInstallList
+    | MotionStateRequest
+)

@@ -1,0 +1,28 @@
+"""Query propagation modes (paper Section 3.5).
+
+- **Eager (EQP)**: every object uplinks a cell-change report when it crosses
+  into a new grid cell; the server immediately sends back the queries newly
+  covering the object's cell.
+- **Lazy (LQP)**: non-focal objects do not report cell changes.  They pick
+  up the queries of their new cell from the next velocity-change (or
+  cell-change) broadcast of those queries' focal objects -- such broadcasts
+  are expanded with the full query descriptors.  Lazy propagation trades
+  query-result accuracy (objects may miss queries until the next broadcast)
+  for a large reduction in uplink traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PropagationMode(enum.Enum):
+    """How non-focal objects learn about queries after a cell change."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+    @property
+    def is_lazy(self) -> bool:
+        """Whether this is the lazy propagation mode."""
+        return self is PropagationMode.LAZY

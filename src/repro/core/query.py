@@ -1,0 +1,195 @@
+"""Moving queries over moving objects (paper Section 2.3).
+
+A moving query (MQ) is the quadruple ``<qid, oid, region, filter>``: a unique
+query id, the id of the *focal* object the query is bound to, a closed
+spatial region bound to the focal object through a binding point (a circle
+bound through its center, without loss of generality), and a boolean
+*filter* predicate over target-object properties.
+
+The query result is the set of object ids inside the region (centered at the
+focal object's position) whose properties satisfy the filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from repro.geometry import Circle, Point, Shape, Vector
+from repro.grid.regions import region_reach
+from repro.mobility.model import ObjectId
+
+QueryId = int
+
+
+@runtime_checkable
+class QueryFilter(Protocol):
+    """A boolean predicate over a target object's property set."""
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class TrueFilter:
+    """The trivial filter: every object passes (selectivity 1.0)."""
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class AndFilter:
+    """Conjunction: passes objects matching every sub-filter."""
+
+    filters: tuple[QueryFilter, ...]
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return all(f.matches(props) for f in self.filters)
+
+
+@dataclass(frozen=True, slots=True)
+class OrFilter:
+    """Disjunction: passes objects matching any sub-filter."""
+
+    filters: tuple[QueryFilter, ...]
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return any(f.matches(props) for f in self.filters)
+
+
+@dataclass(frozen=True, slots=True)
+class NotFilter:
+    """Negation of a sub-filter."""
+
+    inner: QueryFilter
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return not self.inner.matches(props)
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyEqualsFilter:
+    """Passes objects whose property ``key`` equals ``value``."""
+
+    key: str
+    value: Any
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return props.get(self.key) == self.value
+
+
+def _validate_relative_region(region: Shape) -> None:
+    """A query region is expressed in focal-relative coordinates with the
+    binding point at the origin; for a circle the paper binds through the
+    center, so it must be origin-centered."""
+    if isinstance(region, Circle) and (region.cx != 0.0 or region.cy != 0.0):
+        raise ValueError(
+            "query region must be expressed relative to the focal object "
+            "(circle centered at the origin); got center "
+            f"({region.cx}, {region.cy})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MovingQuery:
+    """An installed continuous query: moving (focal-bound) or static.
+
+    Attributes:
+        qid: unique query identifier (assigned by the server at install).
+        oid: identifier of the focal object the query is bound to, or
+            ``None`` for a *static* query whose region is fixed in space
+            (the query class of the centralized related work the paper
+            compares against; MobiEyes evaluates them with the same
+            monitoring-region machinery, minus all focal bookkeeping).
+        region: the query's spatial region.  For a moving query it is
+            expressed *relative to* the focal object -- per the paper, "any
+            closed shape description with a computationally cheap point
+            containment check", bound through the origin of its coordinate
+            frame (a circle through its center, without loss of
+            generality).  For a static query it is absolute.
+        filter: boolean predicate on target-object properties.
+    """
+
+    qid: QueryId
+    oid: ObjectId | None
+    region: Shape
+    filter: QueryFilter
+
+    def __post_init__(self) -> None:
+        if self.oid is not None:
+            _validate_relative_region(self.region)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this is a static (fixed-region) query."""
+        return self.oid is None
+
+    @property
+    def radius(self) -> float:
+        """The circle radius, for the common circular-region case."""
+        if not isinstance(self.region, Circle):
+            raise TypeError("radius is only defined for circular query regions")
+        return self.region.r
+
+    @property
+    def reach(self) -> float:
+        """Maximal distance from the binding point to the region boundary
+        (equals the radius for circular regions; undefined for static
+        queries, which have no binding point)."""
+        if self.is_static:
+            raise TypeError("reach is only defined for focal-bound queries")
+        return region_reach(self.region)
+
+    def region_at(self, focal_pos: Point | None) -> Shape:
+        """The query's absolute spatial region for a focal position.
+
+        Static queries ignore ``focal_pos``.
+        """
+        if self.is_static:
+            return self.region
+        if focal_pos is None:
+            raise ValueError("a moving query needs a focal position")
+        return self.region.translated(Vector(focal_pos.x, focal_pos.y))
+
+    def covers(self, focal_pos: Point | None, target_pos: Point) -> bool:
+        """Whether a target at ``target_pos`` is inside the spatial region."""
+        return self.region_at(focal_pos).contains(target_pos)
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """A query as submitted by a user, before the server assigns a qid.
+
+    ``oid=None`` submits a *static* query: ``region`` is then an absolute
+    area of space rather than a focal-relative shape.  Use
+    :meth:`QuerySpec.static` for clarity.
+    """
+
+    oid: ObjectId | None
+    region: Shape
+    filter: QueryFilter = TrueFilter()
+
+    def __post_init__(self) -> None:
+        if self.oid is not None:
+            _validate_relative_region(self.region)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this is a static (fixed-region) query."""
+        return self.oid is None
+
+    @staticmethod
+    def static(region: Shape, filter: QueryFilter = TrueFilter()) -> "QuerySpec":
+        """A static continuous range query over a fixed region."""
+        return QuerySpec(oid=None, region=region, filter=filter)
+
+    def with_qid(self, qid: QueryId) -> MovingQuery:
+        """Bind this spec to a server-assigned query id."""
+        return MovingQuery(qid=qid, oid=self.oid, region=self.region, filter=self.filter)

@@ -1,0 +1,42 @@
+"""Safe-period optimization (paper Section 4.2).
+
+For an object :math:`o_i` that holds a query :math:`q_k` (focal object
+:math:`o_j`, circular region of radius :math:`r`) in its LQT and currently
+sits *outside* the query region, the worst case is that both objects race
+toward each other at their maximum speeds along the line between them.  The
+earliest time :math:`o_i` could possibly be inside the region is therefore
+
+.. math::
+
+    sp(o_i, q_k) = \\frac{dist(o_i, o_j) - r}{o_i.maxVel + o_j.maxVel}
+
+and the object may safely skip evaluating :math:`q_k` for that long.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def safe_period_hours(
+    distance: float,
+    radius: float,
+    own_max_speed: float,
+    focal_max_speed: float,
+) -> float:
+    """Worst-case lower bound (hours) before the object can enter the region.
+
+    Returns ``0`` when the object is already within the region's reach and
+    ``inf`` when neither object can move (the region can never be entered).
+    """
+    if distance < 0 or radius < 0:
+        raise ValueError("distance and radius must be non-negative")
+    if own_max_speed < 0 or focal_max_speed < 0:
+        raise ValueError("speeds must be non-negative")
+    gap = distance - radius
+    if gap <= 0:
+        return 0.0
+    closing_speed = own_max_speed + focal_max_speed
+    if closing_speed == 0:
+        return math.inf
+    return gap / closing_speed

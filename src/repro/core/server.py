@@ -1,0 +1,416 @@
+"""The MobiEyes server: a mediator between moving objects (paper Section 3).
+
+The server never evaluates queries itself.  It maintains the focal object
+table (FOT), the server query table (SQT), and the reverse query index
+(RQI); installs queries; and relays significant focal-object changes
+(velocity-vector changes and grid-cell crossings) to the objects inside the
+affected monitoring regions using the minimal number of base-station
+broadcasts.
+
+Server load is measured as the wall-clock time spent inside the server's
+handlers (the same "time spent executing the server side logic per time
+step" measure the paper uses), plus a deterministic operation counter for
+hardware-independent comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+ResultCallback = Callable[["QueryId", "ObjectId", bool], None]
+
+from repro.core.config import MobiEyesConfig
+from repro.core.messages import (
+    CellChangeReport,
+    FocalRoleNotification,
+    MotionStateRequest,
+    MotionStateResponse,
+    QueryDescriptor,
+    QueryInstallBroadcast,
+    QueryInstallList,
+    QueryRemoveBroadcast,
+    QueryUpdateBroadcast,
+    ResultChangeReport,
+    VelocityChangeBroadcast,
+    VelocityChangeReport,
+)
+from repro.core.query import MovingQuery, QueryId, QuerySpec
+from repro.core.tables import FocalObjectTable, ReverseQueryIndex, ServerQueryTable, SqtEntry
+from repro.core.transport import SimulatedTransport
+from repro.grid import CellIndex, Grid, monitoring_region
+from repro.mobility.model import ObjectId
+
+
+class MobiEyesServer:
+    """Server-side half of the MobiEyes protocol."""
+
+    def __init__(self, grid: Grid, transport: SimulatedTransport, config: MobiEyesConfig) -> None:
+        self.grid = grid
+        self.transport = transport
+        self.config = config
+        self.fot = FocalObjectTable()
+        self.sqt = ServerQueryTable()
+        self.rqi = ReverseQueryIndex()
+        self._next_qid: QueryId = 1
+        self._subscribers: dict[QueryId, list[ResultCallback]] = {}
+        # Load accounting: wall seconds and abstract operations this step.
+        self.load_seconds = 0.0
+        self.op_count = 0
+        self._timer_depth = 0
+        self._timer_start = 0.0
+        transport.attach_server(self)
+
+    # ------------------------------------------------------------- timing
+
+    def _enter_timed(self) -> None:
+        if self._timer_depth == 0:
+            self._timer_start = time.perf_counter()
+        self._timer_depth += 1
+
+    def _exit_timed(self) -> None:
+        self._timer_depth -= 1
+        if self._timer_depth == 0:
+            self.load_seconds += time.perf_counter() - self._timer_start
+
+    def reset_load(self) -> tuple[float, int]:
+        """Return and clear the accumulated (seconds, ops) load counters."""
+        out = (self.load_seconds, self.op_count)
+        self.load_seconds = 0.0
+        self.op_count = 0
+        return out
+
+    # ------------------------------------------------------ query install
+
+    def install_query(self, spec: QuerySpec) -> QueryId:
+        """Install a moving or static query (paper Section 3.3).
+
+        Static queries (``spec.oid is None``) skip all focal bookkeeping:
+        no FOT entry, no role notification, and a monitoring region that is
+        simply the grid cells intersecting the fixed region.
+        """
+        if spec.is_static:
+            return self._install_static(spec)
+        self._enter_timed()
+        try:
+            if spec.oid not in self.fot:
+                # Contact the focal object for its position and velocity;
+                # the response arrives synchronously through on_uplink.
+                self._exit_timed()  # the round trip is not server work
+                self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
+                self._enter_timed()
+                if spec.oid not in self.fot:
+                    raise KeyError(f"focal object {spec.oid} did not answer the state request")
+            focal = self.fot.get(spec.oid)
+            qid = self._next_qid
+            self._next_qid += 1
+            curr_cell = self.grid.cell_index(focal.state.pos)
+            mon_region = monitoring_region(self.grid, curr_cell, spec.region)
+            entry = SqtEntry(
+                qid=qid,
+                oid=spec.oid,
+                region=spec.region,
+                filter=spec.filter,
+                curr_cell=curr_cell,
+                mon_region=mon_region,
+            )
+            self.sqt.add(entry)
+            self.rqi.add(qid, mon_region)
+            self.op_count += mon_region.cell_count + 1
+        finally:
+            self._exit_timed()
+
+        # Notify the focal object of its role, then install the query on
+        # every object in the monitoring region through broadcasts.
+        self.transport.send(spec.oid, FocalRoleNotification(oid=spec.oid, has_mq=True))
+        self.transport.broadcast(
+            mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
+        )
+        return qid
+
+    def _install_static(self, spec: QuerySpec) -> QueryId:
+        self._enter_timed()
+        try:
+            qid = self._next_qid
+            self._next_qid += 1
+            mon_region = self.grid.cells_intersecting(spec.region.bounding_rect())
+            entry = SqtEntry(
+                qid=qid,
+                oid=None,
+                region=spec.region,
+                filter=spec.filter,
+                curr_cell=None,
+                mon_region=mon_region,
+            )
+            self.sqt.add(entry)
+            self.rqi.add(qid, mon_region)
+            self.op_count += mon_region.cell_count + 1
+        finally:
+            self._exit_timed()
+        self.transport.broadcast(
+            mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
+        )
+        return qid
+
+    def remove_query(self, qid: QueryId) -> None:
+        """Uninstall a query everywhere."""
+        self._enter_timed()
+        try:
+            entry = self.sqt.remove(qid)
+            self._subscribers.pop(qid, None)
+            self.rqi.remove(qid, entry.mon_region)
+            self.op_count += entry.mon_region.cell_count + 1
+            focal_left = entry.is_static or self.sqt.is_focal(entry.oid)
+            if not focal_left:
+                self.fot.remove(entry.oid)
+        finally:
+            self._exit_timed()
+        self.transport.broadcast(entry.mon_region, QueryRemoveBroadcast(qids=(qid,)))
+        if not focal_left:
+            self.transport.send(entry.oid, FocalRoleNotification(oid=entry.oid, has_mq=False))
+
+    # ----------------------------------------------------------- handlers
+
+    def on_uplink(self, message: object) -> None:
+        """Dispatch an object -> server message."""
+        if isinstance(message, VelocityChangeReport):
+            self._on_velocity_change(message)
+        elif isinstance(message, CellChangeReport):
+            self._on_cell_change(message)
+        elif isinstance(message, ResultChangeReport):
+            self._on_result_change(message)
+        elif isinstance(message, MotionStateResponse):
+            self._on_motion_state(message)
+        else:
+            raise TypeError(f"unexpected uplink message {type(message).__name__}")
+
+    def _on_motion_state(self, message: MotionStateResponse) -> None:
+        self._enter_timed()
+        try:
+            self.fot.upsert(message.oid, message.state, message.max_speed)
+            self.op_count += 1
+        finally:
+            self._exit_timed()
+
+    def _on_velocity_change(self, message: VelocityChangeReport) -> None:
+        """Relay a focal object's significant velocity change (Section 3.4)."""
+        self._enter_timed()
+        try:
+            if message.oid not in self.fot:
+                return  # stale report from an object that lost its focal role
+            self.fot.update_state(message.oid, message.state)
+            queries = self.sqt.queries_of_focal(message.oid)
+            groups = self._broadcast_groups(queries)
+            self.op_count += 1 + len(queries)
+        finally:
+            self._exit_timed()
+        lazy = self.config.propagation.is_lazy
+        for mon_region, group in groups:
+            descriptors = tuple(self._descriptor(e) for e in group) if lazy else ()
+            self.transport.broadcast(
+                mon_region,
+                VelocityChangeBroadcast(
+                    oid=message.oid,
+                    state=message.state,
+                    qids=tuple(e.qid for e in group),
+                    descriptors=descriptors,
+                ),
+            )
+
+    def _on_cell_change(self, message: CellChangeReport) -> None:
+        """Handle an object that crossed into a new grid cell (Section 3.5)."""
+        self._enter_timed()
+        try:
+            if message.state is not None and message.oid in self.fot:
+                self.fot.update_state(message.oid, message.state)
+            new_queries = self._new_queries_for(message.oid, message.prev_cell, message.new_cell)
+            focal_updates: list[tuple[set[CellIndex], list[SqtEntry]]] = []
+            if self.sqt.is_focal(message.oid):
+                focal_updates = self._refresh_focal_regions(message.oid, message.new_cell)
+        finally:
+            self._exit_timed()
+
+        if new_queries:
+            self.transport.send(
+                message.oid,
+                QueryInstallList(
+                    oid=message.oid,
+                    queries=tuple(self._descriptor(e) for e in new_queries),
+                ),
+            )
+        for combined_region, group in focal_updates:
+            self.transport.broadcast(
+                combined_region,
+                QueryUpdateBroadcast(queries=tuple(self._descriptor(e) for e in group)),
+            )
+
+    def _new_queries_for(
+        self, oid: ObjectId, prev_cell: CellIndex, new_cell: CellIndex
+    ) -> list[SqtEntry]:
+        """Queries newly covering the object's cell (RQI difference)."""
+        previous = self.rqi.queries_at(prev_cell)
+        fresh = self.rqi.queries_at(new_cell) - previous
+        self.op_count += 1
+        # The object never monitors its own queries (it is their focal).
+        return [self.sqt.get(qid) for qid in sorted(fresh) if self.sqt.get(qid).oid != oid]
+
+    def _refresh_focal_regions(
+        self, oid: ObjectId, new_cell: CellIndex
+    ) -> list[tuple[set[CellIndex], list[SqtEntry]]]:
+        """Recompute monitoring regions of all queries bound to ``oid``.
+
+        Returns, per broadcast group, the union of old and new monitoring
+        regions (the paper broadcasts the query's new state to objects in
+        the combined area) and the group's queries.
+        """
+        queries = self.sqt.queries_of_focal(oid)
+        combined_by_group: dict[int, set[CellIndex]] = {}
+        for entry in queries:
+            old_region = entry.mon_region
+            new_region = monitoring_region(self.grid, new_cell, entry.region)
+            entry.curr_cell = new_cell
+            entry.mon_region = new_region
+            self.rqi.move(entry.qid, old_region, new_region)
+            self.op_count += old_region.cell_count + new_region.cell_count
+            combined_by_group[entry.qid] = set(old_region) | set(new_region)
+        groups = self._broadcast_groups(queries)
+        out: list[tuple[set[CellIndex], list[SqtEntry]]] = []
+        for _mon_region, group in groups:
+            combined: set[CellIndex] = set()
+            for entry in group:
+                combined |= combined_by_group[entry.qid]
+            out.append((combined, group))
+        return out
+
+    def _on_result_change(self, message: ResultChangeReport) -> None:
+        """Differentially update query results (Section 3.6)."""
+        applied: list[tuple[QueryId, bool]] = []
+        self._enter_timed()
+        try:
+            for qid, is_target in message.changes.items():
+                if qid not in self.sqt:
+                    continue  # query was removed while the report was in flight
+                result = self.sqt.get(qid).result
+                if is_target:
+                    if message.oid not in result:
+                        result.add(message.oid)
+                        applied.append((qid, True))
+                else:
+                    if message.oid in result:
+                        result.discard(message.oid)
+                        applied.append((qid, False))
+                self.op_count += 1
+        finally:
+            self._exit_timed()
+        # Notify subscribers outside the timed section: the callbacks are
+        # application code, not server protocol work.
+        for qid, entered in applied:
+            for callback in self._subscribers.get(qid, ()):
+                callback(qid, message.oid, entered)
+
+    def subscribe(self, qid: QueryId, callback: "ResultCallback") -> None:
+        """Register a callback fired on every differential result change of
+        query ``qid``: ``callback(qid, oid, entered)`` with ``entered`` True
+        when the object joined the result and False when it left."""
+        if qid not in self.sqt:
+            raise KeyError(f"unknown query {qid}")
+        self._subscribers.setdefault(qid, []).append(callback)
+
+    def unsubscribe(self, qid: QueryId, callback: "ResultCallback") -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self._subscribers.get(qid)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    # ------------------------------------------------------------ helpers
+
+    def _broadcast_groups(self, queries: list[SqtEntry]) -> list[tuple[object, list[SqtEntry]]]:
+        """Group queries for broadcasting.
+
+        With grouping enabled (Section 4.1), queries sharing the focal
+        object *and* the monitoring region ride in one broadcast; groups are
+        keyed by monitoring region.  With grouping disabled every query is
+        broadcast separately.
+        """
+        if not self.config.grouping:
+            return [(e.mon_region, [e]) for e in queries]
+        grouped: dict[object, list[SqtEntry]] = {}
+        for entry in queries:
+            grouped.setdefault(entry.mon_region, []).append(entry)
+        return list(grouped.items())
+
+    def _descriptor(self, entry: SqtEntry) -> QueryDescriptor:
+        if entry.is_static:
+            return QueryDescriptor(
+                qid=entry.qid,
+                oid=None,
+                region=entry.region,
+                filter=entry.filter,
+                focal_state=None,
+                focal_max_speed=0.0,
+                mon_region=entry.mon_region,
+            )
+        focal = self.fot.get(entry.oid)
+        return QueryDescriptor(
+            qid=entry.qid,
+            oid=entry.oid,
+            region=entry.region,
+            filter=entry.filter,
+            focal_state=focal.state,
+            focal_max_speed=focal.max_speed,
+            mon_region=entry.mon_region,
+        )
+
+    def beacon_static_queries(self) -> int:
+        """Re-broadcast every static query's descriptor to its monitoring
+        region (lazy-propagation healing; see ``static_beacon_steps``).
+        Returns the number of broadcasts sent."""
+        self._enter_timed()
+        try:
+            static_entries = [e for e in self.sqt.entries() if e.is_static]
+            self.op_count += len(static_entries)
+        finally:
+            self._exit_timed()
+        broadcasts = 0
+        for entry in static_entries:
+            broadcasts += self.transport.broadcast(
+                entry.mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
+            )
+        return broadcasts
+
+    # --------------------------------------------------------- inspection
+
+    def query_result(self, qid: QueryId) -> frozenset[ObjectId]:
+        """The current (differentially maintained) result of a query."""
+        return frozenset(self.sqt.get(qid).result)
+
+    def installed_queries(self) -> list[MovingQuery]:
+        """All installed queries as MovingQuery values."""
+        return [
+            MovingQuery(qid=e.qid, oid=e.oid, region=e.region, filter=e.filter)
+            for e in self.sqt.entries()
+        ]
+
+    def nearby_queries(self, cell: CellIndex) -> frozenset[QueryId]:
+        """Query ids whose monitoring region covers the cell."""
+        return self.rqi.queries_at(cell)
+
+    def check_invariants(self) -> None:
+        """Structural consistency between FOT, SQT, and RQI (used by tests)."""
+        for oid in list(self.fot.ids()):
+            assert self.sqt.is_focal(oid), f"FOT holds non-focal object {oid}"
+        for entry in self.sqt.entries():
+            if not entry.is_static:
+                assert entry.oid in self.fot, (
+                    f"query {entry.qid}'s focal object {entry.oid} missing from FOT"
+                )
+            for cell in entry.mon_region:
+                assert entry.qid in self.rqi.queries_at(cell), (
+                    f"query {entry.qid} missing from RQI cell {cell}"
+                )
+        for cell in list(self.rqi.nonempty_cells()):
+            for qid in self.rqi.queries_at(cell):
+                assert qid in self.sqt, f"RQI holds removed query {qid}"
+                assert self.sqt.get(qid).mon_region.contains(cell), (
+                    f"RQI cell {cell} outside query {qid}'s monitoring region"
+                )

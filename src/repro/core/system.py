@@ -1,0 +1,234 @@
+"""End-to-end MobiEyes system: the public facade of the reproduction.
+
+:class:`MobiEyesSystem` wires together the grid, the base-station layout,
+the simulated transport, the server, one client per moving object, and the
+motion model, then drives them with the time-stepped engine:
+
+1. *movement* -- objects move; ``nmo`` random objects pick new velocity
+   vectors; the transport's coverage index is refreshed.
+2. *reporting* -- clients detect cell crossings and (for focal objects)
+   dead-reckoning deviations, and uplink reports; the server reacts inline
+   with installs/broadcasts.
+3. *evaluation* -- clients process their LQTs and uplink differential
+   result changes.
+4. *measurement* -- per-step metrics are recorded.
+
+Typical use::
+
+    config = MobiEyesConfig(uod=Rect(0, 0, 100, 100), alpha=5.0)
+    system = MobiEyesSystem(config, objects, rng, velocity_changes_per_step=10)
+    qid = system.install_query(QuerySpec(oid=3, region=Circle(0, 0, 2.0)))
+    system.run(steps=100)
+    print(system.result(qid))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.client import MobiEyesClient
+from repro.core.config import MobiEyesConfig
+from repro.core.query import QueryId, QuerySpec
+from repro.core.server import MobiEyesServer
+from repro.core.transport import SimulatedTransport
+from repro.grid import Grid
+from repro.metrics.accuracy import exact_results, mean_result_error
+from repro.metrics.collectors import MetricsLog, StepStats
+from repro.mobility.model import MovingObject, ObjectId
+from repro.mobility.motion import MotionModel
+from repro.network.basestation import BaseStationLayout
+from repro.network.loss import LossModel
+from repro.network.messaging import MessageLedger
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SimulationRng
+from repro.sim.trace import TraceLog
+
+
+class MobiEyesSystem:
+    """A complete distributed MobiEyes deployment in simulation."""
+
+    def __init__(
+        self,
+        config: MobiEyesConfig,
+        objects: Sequence[MovingObject],
+        rng: SimulationRng | None = None,
+        velocity_changes_per_step: int = 0,
+        track_accuracy: bool = False,
+        trace: TraceLog | None = None,
+        warmup_steps: int = 0,
+        loss: LossModel | None = None,
+        motion: MotionModel | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else SimulationRng()
+        self.grid = Grid(config.uod, config.alpha)
+        self.layout = BaseStationLayout(self.grid, config.base_station_side)
+        self.ledger = MessageLedger(radio=config.radio)
+        self.trace = trace
+        self.transport = SimulatedTransport(
+            self.layout, self.grid, self.ledger, trace=trace, loss=loss
+        )
+        self.server = MobiEyesServer(self.grid, self.transport, config)
+        # A custom mobility model (e.g. random waypoint) may be supplied;
+        # it must manage the same object population.
+        if motion is not None:
+            if list(motion.objects) != list(objects):
+                raise ValueError("motion model must wrap the same object population")
+            self.motion = motion
+        else:
+            self.motion = MotionModel(
+                objects, config.uod, self.rng, velocity_changes_per_step=velocity_changes_per_step
+            )
+        self.clients: dict[ObjectId, MobiEyesClient] = {
+            obj.oid: MobiEyesClient(obj, self.grid, self.transport, config)
+            for obj in self.motion.objects
+        }
+        self._client_order = sorted(self.clients)
+        self.track_accuracy = track_accuracy
+        self.metrics = MetricsLog(
+            step_seconds=config.step_seconds,
+            population=len(self.motion),
+            warmup_steps=warmup_steps,
+        )
+        self._ledger_mark = self.ledger.snapshot()
+
+        self.engine = SimulationEngine(SimulationClock(config.step_seconds))
+        self.engine.register("movement", self._movement_phase)
+        self.engine.register("reporting", self._reporting_phase)
+        self.engine.register("evaluation", self._evaluation_phase)
+        self.engine.register("measurement", self._measurement_phase)
+        # The install-time broadcasts need a valid coverage index.
+        self.transport.begin_step(0, self._positions())
+
+    # --------------------------------------------------------------- API
+
+    @property
+    def clock(self) -> SimulationClock:
+        """The simulation clock driving this system."""
+        return self.engine.clock
+
+    def install_query(self, spec: QuerySpec) -> QueryId:
+        """Install a moving query; returns its server-assigned qid."""
+        return self.server.install_query(spec)
+
+    def install_queries(self, specs: Iterable[QuerySpec]) -> list[QueryId]:
+        """Install several query specs; returns their qids in order."""
+        return [self.install_query(spec) for spec in specs]
+
+    def remove_query(self, qid: QueryId) -> None:
+        """Uninstall a query everywhere it is known."""
+        self.server.remove_query(qid)
+
+    def step(self) -> int:
+        """Advance the simulation by one time step."""
+        return self.engine.step()
+
+    def run(self, steps: int) -> int:
+        """Run ``steps`` consecutive steps; returns the final step index."""
+        return self.engine.run(steps)
+
+    def result(self, qid: QueryId) -> frozenset[ObjectId]:
+        """The differentially maintained result of a query."""
+        return self.server.query_result(qid)
+
+    def subscribe(self, qid: QueryId, callback) -> None:
+        """Fire ``callback(qid, oid, entered)`` on every result change."""
+        self.server.subscribe(qid, callback)
+
+    def unsubscribe(self, qid: QueryId, callback) -> None:
+        """Remove a previously registered result callback (no-op if absent)."""
+        self.server.unsubscribe(qid, callback)
+
+    def results(self) -> dict[QueryId, frozenset[ObjectId]]:
+        """All current query results, keyed by query id."""
+        return {qid: self.server.query_result(qid) for qid in self.server.sqt.ids()}
+
+    def oracle_results(self) -> dict[QueryId, frozenset[ObjectId]]:
+        """Exact results computed from true positions (the ground truth)."""
+        return exact_results(self.motion.objects, self.server.installed_queries(), self.grid)
+
+    def client(self, oid: ObjectId) -> MobiEyesClient:
+        """The client state machine of one moving object."""
+        return self.clients[oid]
+
+    def check_invariants(self) -> None:
+        """Protocol invariants validated by the test suite."""
+        self.server.check_invariants()
+        for oid in self._client_order:
+            client = self.clients[oid]
+            for entry in client.lqt.entries():
+                assert entry.oid != oid, "object monitors its own query"
+                assert entry.qid in self.server.sqt, "LQT holds a removed query"
+                assert entry.mon_region.contains(client.last_cell), (
+                    "LQT entry's monitoring region does not cover the object's cell"
+                )
+
+    # ------------------------------------------------------------- phases
+
+    def _positions(self) -> list[tuple[ObjectId, object]]:
+        return [(obj.oid, obj.pos) for obj in self.motion.objects]
+
+    def _movement_phase(self, clock: SimulationClock) -> None:
+        self.motion.advance(clock.step_hours, clock.now_hours)
+        self.transport.begin_step(clock.step, self._positions())
+
+    def _reporting_phase(self, clock: SimulationClock) -> None:
+        for oid in self._client_order:
+            self.clients[oid].report_phase(clock)
+        beacon = self.config.static_beacon_steps
+        if (
+            self.config.propagation.is_lazy
+            and beacon > 0
+            and clock.step % beacon == 0
+        ):
+            self.server.beacon_static_queries()
+
+    def _evaluation_phase(self, clock: SimulationClock) -> None:
+        if clock.step % self.config.eval_period_steps != 0:
+            return
+        for oid in self._client_order:
+            self.clients[oid].evaluation_phase(clock)
+
+    def _measurement_phase(self, clock: SimulationClock) -> None:
+        server_seconds, server_ops = self.server.reset_load()
+        mark = self.ledger.snapshot()
+        delta = self._ledger_mark.delta(mark)
+        self._ledger_mark = mark
+
+        lqt_total = 0
+        evaluated = 0
+        skipped_sp = 0
+        skipped_group = 0
+        processing = 0.0
+        for oid in self._client_order:
+            client = self.clients[oid]
+            lqt_total += len(client.lqt)
+            snapshot = client.stats.reset()
+            evaluated += snapshot.evaluated_queries
+            skipped_sp += snapshot.skipped_by_safe_period
+            skipped_group += snapshot.skipped_by_grouping
+            processing += snapshot.processing_seconds
+
+        error = None
+        if self.track_accuracy:
+            error = mean_result_error(self.results(), self.oracle_results())
+
+        self.metrics.append(
+            StepStats(
+                step=clock.step,
+                server_seconds=server_seconds,
+                server_ops=server_ops,
+                uplink_messages=delta.uplink_count,
+                downlink_messages=delta.downlink_count,
+                uplink_bits=delta.uplink_bits,
+                downlink_bits=delta.downlink_bits,
+                energy_joules=delta.total_energy,
+                mean_lqt_size=lqt_total / max(1, len(self.clients)),
+                evaluated_queries=evaluated,
+                skipped_by_safe_period=skipped_sp,
+                skipped_by_grouping=skipped_group,
+                object_processing_seconds=processing,
+                result_error=error,
+            )
+        )

@@ -1,0 +1,289 @@
+"""Server-side and object-side tables (paper Section 3.2).
+
+Server side:
+    - :class:`FocalObjectTable` (FOT): ``oid -> (pos, vel, tm)`` for every
+      focal object, plus the max-speed bound used by safe periods.
+    - :class:`ServerQueryTable` (SQT): ``qid -> (oid, region, curr_cell,
+      mon_region, filter, {result})``.
+    - :class:`ReverseQueryIndex` (RQI): grid cell -> ids of queries whose
+      monitoring region intersects the cell (``nearby_queries`` of any
+      object in that cell).
+
+Object side:
+    - :class:`LocalQueryTable` (LQT): the queries this object is responsible
+      for evaluating, with the last known focal motion state, the query's
+      monitoring region, the last containment result (``is_target``), and
+      the safe-period processing time ``ptm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry import Shape
+from repro.grid import CellIndex, CellRange, region_reach
+from repro.mobility.model import MotionState, ObjectId
+from repro.core.messages import QueryDescriptor
+from repro.core.query import QueryFilter, QueryId
+
+
+# ------------------------------------------------------------- server side
+
+
+@dataclass(slots=True)
+class FotEntry:
+    """One focal object's last reported kinematic state."""
+
+    oid: ObjectId
+    state: MotionState
+    max_speed: float
+
+
+class FocalObjectTable:
+    """FOT: focal objects' last reported positions and velocity vectors."""
+
+    def __init__(self) -> None:
+        self._entries: dict[ObjectId, FotEntry] = {}
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, oid: ObjectId) -> FotEntry:
+        """Look up a stored entry by its identifier."""
+        return self._entries[oid]
+
+    def upsert(self, oid: ObjectId, state: MotionState, max_speed: float) -> FotEntry:
+        """Insert or update the entry for an object."""
+        entry = self._entries.get(oid)
+        if entry is None:
+            entry = FotEntry(oid=oid, state=state, max_speed=max_speed)
+            self._entries[oid] = entry
+        else:
+            entry.state = state
+            entry.max_speed = max_speed
+        return entry
+
+    def update_state(self, oid: ObjectId, state: MotionState) -> None:
+        """Replace the stored motion state of a focal object."""
+        self._entries[oid].state = state
+
+    def remove(self, oid: ObjectId) -> None:
+        """Remove a stored entry."""
+        del self._entries[oid]
+
+    def ids(self) -> Iterator[ObjectId]:
+        """Iterate over the stored identifiers."""
+        return iter(self._entries)
+
+
+@dataclass(slots=True)
+class SqtEntry:
+    """One installed query's server-side record.
+
+    Static queries have ``oid is None`` and ``curr_cell is None``; their
+    monitoring region never changes.
+    """
+
+    qid: QueryId
+    oid: ObjectId | None
+    region: Shape
+    filter: QueryFilter
+    curr_cell: CellIndex | None
+    mon_region: CellRange
+    result: set[ObjectId] = field(default_factory=set)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this is a static (fixed-region) query."""
+        return self.oid is None
+
+
+class ServerQueryTable:
+    """SQT: every installed moving query, keyed by query id."""
+
+    def __init__(self) -> None:
+        self._entries: dict[QueryId, SqtEntry] = {}
+        self._by_focal: dict[ObjectId, set[QueryId]] = {}
+
+    def __contains__(self, qid: QueryId) -> bool:
+        return qid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, qid: QueryId) -> SqtEntry:
+        """Look up a stored entry by its identifier."""
+        return self._entries[qid]
+
+    def add(self, entry: SqtEntry) -> None:
+        """Add a new entry."""
+        if entry.qid in self._entries:
+            raise ValueError(f"duplicate query id {entry.qid}")
+        self._entries[entry.qid] = entry
+        if entry.oid is not None:
+            self._by_focal.setdefault(entry.oid, set()).add(entry.qid)
+
+    def remove(self, qid: QueryId) -> SqtEntry:
+        """Remove a stored entry."""
+        entry = self._entries.pop(qid)
+        if entry.oid is not None:
+            group = self._by_focal[entry.oid]
+            group.discard(qid)
+            if not group:
+                del self._by_focal[entry.oid]
+        return entry
+
+    def queries_of_focal(self, oid: ObjectId) -> list[SqtEntry]:
+        """All queries bound to focal object ``oid`` (groupable MQs)."""
+        return [self._entries[qid] for qid in sorted(self._by_focal.get(oid, ()))]
+
+    def is_focal(self, oid: ObjectId) -> bool:
+        """Whether this object is the focal object of some query."""
+        return oid in self._by_focal
+
+    def entries(self) -> Iterator[SqtEntry]:
+        """Iterate over the stored entries."""
+        return iter(self._entries.values())
+
+    def ids(self) -> Iterator[QueryId]:
+        """Iterate over the stored identifiers."""
+        return iter(self._entries)
+
+
+class ReverseQueryIndex:
+    """RQI: grid cell -> query ids whose monitoring region covers the cell.
+
+    Conceptually the paper's ``M x N`` matrix of query-id sets; stored
+    sparsely since most cells have no nearby queries.
+    """
+
+    def __init__(self) -> None:
+        self._cells: dict[CellIndex, set[QueryId]] = {}
+
+    def add(self, qid: QueryId, mon_region: CellRange) -> None:
+        """Add a new entry."""
+        for cell in mon_region:
+            self._cells.setdefault(cell, set()).add(qid)
+
+    def remove(self, qid: QueryId, mon_region: CellRange) -> None:
+        """Remove a stored entry."""
+        for cell in mon_region:
+            bucket = self._cells.get(cell)
+            if bucket is not None:
+                bucket.discard(qid)
+                if not bucket:
+                    del self._cells[cell]
+
+    def move(self, qid: QueryId, old_region: CellRange, new_region: CellRange) -> None:
+        """Move a query from one monitoring region to another."""
+        self.remove(qid, old_region)
+        self.add(qid, new_region)
+
+    def queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
+        """``nearby_queries`` of an object whose current cell is ``cell``."""
+        bucket = self._cells.get(cell)
+        return frozenset(bucket) if bucket else frozenset()
+
+    def nonempty_cells(self) -> Iterator[CellIndex]:
+        """Cells that currently have nearby queries."""
+        return iter(self._cells)
+
+
+# ------------------------------------------------------------- object side
+
+
+@dataclass(slots=True)
+class LqtEntry:
+    """One query installed on a moving object.
+
+    ``ptm`` is the safe-period *processing time*: evaluation of the query is
+    skipped while ``ptm`` lies in the future (paper Section 4.2).  ``reach``
+    caches the region's maximal extent from its binding point (the radius
+    for circles), used by grouping and the safe-period bound; it is zero
+    for static queries (``oid is None``), whose region is absolute.
+    """
+
+    qid: QueryId
+    oid: ObjectId | None  # focal object id; None for static queries
+    region: Shape
+    filter: QueryFilter
+    focal_state: MotionState | None
+    focal_max_speed: float
+    mon_region: CellRange
+    is_target: bool = False
+    ptm: float = 0.0  # hours
+    reach: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.reach = region_reach(self.region) if self.oid is not None else 0.0
+
+    @property
+    def is_static(self) -> bool:
+        """Whether this is a static (fixed-region) query."""
+        return self.oid is None
+
+    @staticmethod
+    def from_descriptor(desc: QueryDescriptor) -> "LqtEntry":
+        """Build an LQT entry from a broadcast descriptor."""
+        return LqtEntry(
+            qid=desc.qid,
+            oid=desc.oid,
+            region=desc.region,
+            filter=desc.filter,
+            focal_state=desc.focal_state,
+            focal_max_speed=desc.focal_max_speed,
+            mon_region=desc.mon_region,
+        )
+
+
+class LocalQueryTable:
+    """LQT: the queries a moving object currently monitors."""
+
+    def __init__(self) -> None:
+        self._entries: dict[QueryId, LqtEntry] = {}
+
+    def __contains__(self, qid: QueryId) -> bool:
+        return qid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, qid: QueryId) -> LqtEntry:
+        """Look up a stored entry by its identifier."""
+        return self._entries[qid]
+
+    def install(self, entry: LqtEntry) -> None:
+        """Install (or replace) a query entry."""
+        self._entries[entry.qid] = entry
+
+    def remove(self, qid: QueryId) -> LqtEntry | None:
+        """Remove a stored entry."""
+        return self._entries.pop(qid, None)
+
+    def entries(self) -> list[LqtEntry]:
+        """Iterate over the stored entries."""
+        return list(self._entries.values())
+
+    def ids(self) -> list[QueryId]:
+        """Iterate over the stored identifiers."""
+        return list(self._entries)
+
+    def by_focal(self) -> dict[ObjectId | None, list[LqtEntry]]:
+        """Entries grouped by focal object, each group sorted by reach
+        descending -- the object-side grouping order (paper Section 4.1):
+        when the object is beyond a larger region's reach it is necessarily
+        outside every smaller one bound to the same focal object.
+
+        Static entries all land under the ``None`` key; they share no focal
+        object, so the caller must not apply the reach short-circuit there.
+        """
+        groups: dict[ObjectId | None, list[LqtEntry]] = {}
+        for entry in self._entries.values():
+            groups.setdefault(entry.oid, []).append(entry)
+        for group in groups.values():
+            group.sort(key=lambda e: -e.reach)
+        return groups

@@ -1,0 +1,24 @@
+"""Experiment harness: registry, shared runner, per-figure modules."""
+
+from repro.experiments.registry import EXPERIMENTS, TITLES, all_experiment_ids, run_experiment
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_centralized,
+    run_mobieyes,
+)
+
+__all__ = [
+    "DEFAULT_STEPS",
+    "DEFAULT_WARMUP",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "TITLES",
+    "all_experiment_ids",
+    "default_params",
+    "run_centralized",
+    "run_experiment",
+    "run_mobieyes",
+]

@@ -1,0 +1,1 @@
+"""One module per reproduced paper figure, plus design ablations."""

@@ -1,0 +1,51 @@
+"""Ablation: the dead-reckoning threshold delta.
+
+The paper introduces delta (Section 3.4) but never sweeps it.  This
+ablation quantifies the trade-off it controls: a larger delta suppresses
+velocity-change relays (fewer messages) at the cost of stale focal-object
+predictions on the moving objects (higher result error).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_mobieyes,
+)
+
+EXP_ID = "ablation-delta"
+TITLE = "Dead-reckoning threshold: messages vs result error"
+
+DELTAS = (0.0, 0.25, 0.5, 1.0, 2.0)  # miles
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    rows = []
+    for delta in DELTAS:
+        system = run_mobieyes(
+            params, steps, warmup, dead_reckoning_threshold=delta, track_accuracy=True
+        )
+        rows.append(
+            (
+                delta,
+                system.metrics.messages_per_second(),
+                system.metrics.uplink_messages_per_second(),
+                system.metrics.mean_result_error(),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("delta", "msgs/s", "uplink/s", "error"),
+        rows=tuple(rows),
+        notes="expected: messages fall and error rises as delta grows",
+    )

@@ -1,0 +1,47 @@
+"""Ablation: eager vs lazy propagation at a fixed alpha.
+
+Figures 1/2/5-7 show EQP and LQP across sweeps; this ablation isolates the
+trade at the default operating point: messages saved vs accuracy lost.
+"""
+
+from __future__ import annotations
+
+from repro.core import PropagationMode
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_mobieyes,
+)
+
+EXP_ID = "ablation-propagation"
+TITLE = "Eager vs lazy query propagation at defaults"
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    rows = []
+    for mode in (PropagationMode.EAGER, PropagationMode.LAZY):
+        system = run_mobieyes(params, steps, warmup, propagation=mode, track_accuracy=True)
+        rows.append(
+            (
+                mode.value,
+                system.metrics.messages_per_second(),
+                system.metrics.uplink_messages_per_second(),
+                system.metrics.downlink_messages_per_second(),
+                system.metrics.mean_result_error(),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("propagation", "msgs/s", "uplink/s", "downlink/s", "error"),
+        rows=tuple(rows),
+        notes="expected: lazy trades a small error for fewer (mostly uplink) messages",
+    )

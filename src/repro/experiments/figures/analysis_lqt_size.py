@@ -1,0 +1,49 @@
+"""Analysis experiment: the closed-form LQT-size model vs simulation.
+
+Validates :class:`repro.analysis.lqt_model.LqtSizeModel` -- the analytical
+form behind Figs. 10-12 -- against the simulated mean LQT size across the
+alpha sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import LqtSizeModel
+from repro.experiments.figures.fig10_lqt_vs_alpha import ALPHA_FACTORS
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_mobieyes,
+)
+
+EXP_ID = "analysis-lqt"
+TITLE = "Analytical LQT-size model vs simulated mean LQT size"
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    model = LqtSizeModel.from_params(params)
+    rows = []
+    for factor in ALPHA_FACTORS:
+        alpha = params.alpha * factor
+        system = run_mobieyes(params, steps, warmup, alpha=alpha)
+        rows.append(
+            (
+                alpha,
+                system.metrics.mean_lqt_size(),
+                model.expected_lqt_size(alpha),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("alpha", "simulated", "model"),
+        rows=tuple(rows),
+        notes="closed form: nmq * selectivity * (2(alpha + r))^2 / A",
+    )

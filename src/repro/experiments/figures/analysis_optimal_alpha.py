@@ -1,0 +1,53 @@
+"""Analysis experiment: the analytical alpha model vs simulation.
+
+The paper omits its analytical model for the optimal alpha "for space
+restrictions"; we reconstruct it in :mod:`repro.analysis.alpha_model` and
+validate it here by comparing the model's predicted messages/second curve
+(and its argmin) against the simulated Figure 4 sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import AlphaCostModel
+from repro.experiments.figures.fig04_messaging_vs_alpha import ALPHA_FACTORS
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_mobieyes,
+)
+
+EXP_ID = "analysis-alpha"
+TITLE = "Analytical alpha model vs simulated messaging cost"
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    model = AlphaCostModel.from_params(params)
+    rows = []
+    for factor in ALPHA_FACTORS:
+        alpha = params.alpha * factor
+        system = run_mobieyes(params, steps, warmup, alpha=alpha)
+        rows.append(
+            (
+                alpha,
+                system.metrics.messages_per_second(),
+                model.total_rate(alpha),
+                model.uplink_rate(alpha),
+                model.downlink_rate(alpha),
+            )
+        )
+    best_alpha, best_rate = model.optimal_alpha()
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("alpha", "simulated", "model-total", "model-uplink", "model-downlink"),
+        rows=tuple(rows),
+        notes=f"model argmin: alpha*={best_alpha:.2f} at {best_rate:.2f} msgs/s",
+    )

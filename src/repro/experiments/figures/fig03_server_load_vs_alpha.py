@@ -1,0 +1,63 @@
+"""Figure 3: effect of alpha on server load.
+
+The paper plots server load against the grid cell size alpha for MobiEyes,
+with the (alpha-independent) centralized approaches as reference lines.
+
+Expected shape: a U -- small alpha means frequent cell crossings (more
+mediation), large alpha means large monitoring regions (more broadcast
+work); MobiEyes stays below both centralized baselines throughout.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import IndexingMode
+from repro.core import PropagationMode
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_centralized,
+    run_mobieyes,
+)
+
+EXP_ID = "fig03"
+TITLE = "Server load (s/step) vs grid cell size alpha"
+
+ALPHA_FACTORS = (0.2, 0.5, 1.0, 2.0, 3.2)  # paper sweeps 0.5-16 mi around 5
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    object_index = run_centralized(
+        params, steps, warmup, indexing=IndexingMode.OBJECTS
+    ).metrics.mean_server_seconds()
+    query_index = run_centralized(
+        params, steps, warmup, indexing=IndexingMode.QUERIES
+    ).metrics.mean_server_seconds()
+    rows = []
+    for factor in ALPHA_FACTORS:
+        alpha = params.alpha * factor
+        eqp = run_mobieyes(params, steps, warmup, alpha=alpha)
+        lqp = run_mobieyes(params, steps, warmup, alpha=alpha, propagation=PropagationMode.LAZY)
+        rows.append(
+            (
+                alpha,
+                eqp.metrics.mean_server_seconds(),
+                lqp.metrics.mean_server_seconds(),
+                object_index,
+                query_index,
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("alpha", "mobieyes-eqp", "mobieyes-lqp", "object-index", "query-index"),
+        rows=tuple(rows),
+        notes="paper shape: U in alpha; MobiEyes below both baselines",
+    )

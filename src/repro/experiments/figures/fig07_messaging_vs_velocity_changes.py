@@ -1,0 +1,75 @@
+"""Figure 7: effect of the number of velocity-vector changes per step.
+
+The paper plots messages per second against ``nmo`` (objects changing
+velocity per step) for the four approaches.
+
+Expected shape: the gap between MobiEyes-EQP and central-optimal narrows
+as nmo grows (both must relay more velocity changes, but MobiEyes' fixed
+cell-change overhead is amortized); LQP stays best for small query counts.
+The centralized runs use the (cheap) query-index engine: the indexing
+choice does not affect message counts, only server load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines import IndexingMode, ReportingMode
+from repro.core import PropagationMode
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_centralized,
+    run_mobieyes,
+    with_queries,
+)
+
+EXP_ID = "fig07"
+TITLE = "Messages/second vs velocity changes per step"
+
+NMO_FRACTIONS = (0.01, 0.04, 0.10)
+QUERY_FRACTION = 0.05
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    params = with_queries(params, max(1, round(params.num_objects * QUERY_FRACTION)))
+    rows = []
+    for fraction in NMO_FRACTIONS:
+        nmo = max(1, round(params.num_objects * fraction))
+        p = replace(params, velocity_changes_per_step=nmo)
+        naive = run_centralized(
+                p, steps, warmup, reporting=ReportingMode.NAIVE, indexing=IndexingMode.QUERIES
+            )
+        optimal = run_centralized(
+                p,
+                steps,
+                warmup,
+                reporting=ReportingMode.CENTRAL_OPTIMAL,
+                indexing=IndexingMode.QUERIES,
+            )
+        eqp = run_mobieyes(p, steps, warmup)
+        lqp = run_mobieyes(p, steps, warmup, propagation=PropagationMode.LAZY)
+        rows.append(
+            (
+                nmo,
+                naive.metrics.messages_per_second(),
+                optimal.metrics.messages_per_second(),
+                eqp.metrics.messages_per_second(),
+                lqp.metrics.messages_per_second(),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("nmo", "naive", "central-optimal", "mobieyes-eqp", "mobieyes-lqp"),
+        rows=tuple(rows),
+        notes="paper shape: EQP-to-optimal gap narrows as nmo grows",
+    )

@@ -1,0 +1,51 @@
+"""Figure 11: effect of the total number of queries on the LQT size.
+
+Same measure as Figure 10 but swept over the query count for several
+alphas.
+
+Expected shape: linear in the number of queries (each query adds its
+monitoring-region footprint independently).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+    run_mobieyes,
+    sweep_fractions,
+    with_queries,
+)
+
+EXP_ID = "fig11"
+TITLE = "Average LQT size vs number of queries"
+
+ALPHA_FACTORS = (0.5, 1.0, 2.0)
+QUERY_FRACTIONS = (0.01, 0.02, 0.05, 0.10)
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    params = default_params(scale)
+    alphas = [params.alpha * f for f in ALPHA_FACTORS]
+    rows = []
+    for nmq in sweep_fractions(params, QUERY_FRACTIONS):
+        p = with_queries(params, nmq)
+        per_alpha = []
+        for alpha in alphas:
+            system = run_mobieyes(p, steps, warmup, alpha=alpha)
+            per_alpha.append(system.metrics.mean_lqt_size())
+        rows.append((nmq, *per_alpha))
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=("nmq", *(f"lqt(alpha={a:g})" for a in alphas)),
+        rows=tuple(rows),
+        notes="paper shape: linear growth in nmq",
+    )

@@ -1,0 +1,74 @@
+"""Serialization of experiment results (CSV / JSON).
+
+Experiment tables are plain data; these helpers let the CLI (and users'
+own analysis scripts) persist them for downstream plotting without any
+dependency on a dataframe library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render the result table as CSV (header row + data rows).
+
+    The experiment id, title, and notes travel in ``#``-prefixed comment
+    lines so the file remains self-describing yet loadable by any CSV
+    reader that skips comments.
+    """
+    buffer = io.StringIO()
+    buffer.write(f"# experiment: {result.exp_id}\n")
+    buffer.write(f"# title: {result.title}\n")
+    if result.notes:
+        buffer.write(f"# notes: {result.notes}\n")
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(["" if value is None else value for value in row])
+    return buffer.getvalue()
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Render the result as a JSON document."""
+    return json.dumps(
+        {
+            "experiment": result.exp_id,
+            "title": result.title,
+            "notes": result.notes,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+        },
+        indent=2,
+    )
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Inverse of :func:`result_to_json`."""
+    data = json.loads(text)
+    return ExperimentResult(
+        exp_id=data["experiment"],
+        title=data["title"],
+        notes=data.get("notes", ""),
+        headers=tuple(data["headers"]),
+        rows=tuple(tuple(row) for row in data["rows"]),
+    )
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the result to ``path``; the suffix picks the format
+    (``.csv`` or ``.json``)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        text = result_to_csv(result)
+    elif path.suffix == ".json":
+        text = result_to_json(result)
+    else:
+        raise ValueError(f"unsupported format {path.suffix!r}; use .csv or .json")
+    path.write_text(text)
+    return path

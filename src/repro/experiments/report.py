@@ -1,0 +1,167 @@
+"""EXPERIMENTS.md generator: run every registered experiment and write a
+paper-vs-measured report.
+
+Invoked as ``python -m repro report [--output EXPERIMENTS.md]``.  For each
+experiment the report records what the paper's figure shows, the table our
+harness measured, and the qualitative comparison the benchmark suite
+asserts (benchmarks/ re-checks the same shapes on every run).
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import TextIO
+
+from repro.experiments.registry import EXPERIMENTS, TITLES
+from repro.experiments.runner import DEFAULT_STEPS, DEFAULT_WARMUP
+from repro.workload import bench_scale_from_env, paper_defaults
+
+#: What the paper's figure shows, per experiment, and how our measurement
+#: is expected to compare.  The benchmark suite asserts these shapes.
+PAPER_EXPECTATIONS: dict[str, str] = {
+    "fig01": (
+        "Paper (Fig. 1): server load vs number of queries, log scale. MobiEyes "
+        "sits up to two orders of magnitude below the centralized approaches; "
+        "the object index is nearly flat in nmq; the query index grows with nmq "
+        "and beats the object index only for small nmq; LQP <= EQP."
+    ),
+    "fig02": (
+        "Paper (Fig. 2): average result error under lazy query propagation. "
+        "Error decreases with more velocity changes per step (each broadcast "
+        "heals missed installs) and increases as alpha shrinks (more missed "
+        "cell crossings)."
+    ),
+    "fig03": (
+        "Paper (Fig. 3): server load vs alpha. A U-shape -- too-small alpha "
+        "causes frequent cell-crossing mediation, too-large alpha inflates "
+        "monitoring regions -- while MobiEyes stays below both baselines."
+    ),
+    "fig04": (
+        "Paper (Fig. 4): messages/second vs alpha, one curve per query count. "
+        "A U-shape with the minimum in a mid range (paper: alpha in [4, 6] at "
+        "full scale); more queries cost more messages at every alpha."
+    ),
+    "fig05": (
+        "Paper (Fig. 5): messages/second vs number of objects. Naive reporting "
+        "is worst and linear in the population; EQP tracks central-optimal "
+        "with a roughly constant gap; LQP scales best and beats central-"
+        "optimal for small query counts."
+    ),
+    "fig06": (
+        "Paper (Fig. 6): uplink messages/second vs number of objects, log "
+        "scale. MobiEyes-LQP cuts uplink traffic far below every other "
+        "approach -- crucial for asymmetric links."
+    ),
+    "fig07": (
+        "Paper (Fig. 7): messages/second vs velocity changes per step. The "
+        "EQP-to-central-optimal gap narrows as nmo grows; LQP stays best for "
+        "small query counts."
+    ),
+    "fig08": (
+        "Paper (Fig. 8): messages/second vs base-station coverage. Larger "
+        "coverage reduces broadcasts per monitoring region until regions fit "
+        "in one station's area, then the effect disappears."
+    ),
+    "fig09": (
+        "Paper (Fig. 9): per-object communication power vs query count. Naive "
+        "is worst (transmit-heavy); MobiEyes is competitive at small nmq but "
+        "central-optimal overtakes it as queries grow (broadcast over-hearing)."
+    ),
+    "fig10": (
+        "Paper (Fig. 10): average LQT size vs alpha; grows super-linearly "
+        "('exponentially') with alpha, stays under ~10 at the defaults."
+    ),
+    "fig11": (
+        "Paper (Fig. 11): average LQT size vs query count; linear growth."
+    ),
+    "fig12": (
+        "Paper (Fig. 12): average LQT size vs query-radius factor; grows with "
+        "the radius, but only visibly when the change exceeds the cell size "
+        "(monitoring regions are quantized to alpha-cells)."
+    ),
+    "fig13": (
+        "Paper (Fig. 13): per-object query-processing load vs alpha, safe "
+        "period on/off. Large savings at large alpha (long safe periods), "
+        "slight overhead at very small alpha."
+    ),
+    "ablation-delta": (
+        "Extension (paper Section 3.4 introduces delta but never sweeps it): "
+        "a larger dead-reckoning threshold trades messages for result error."
+    ),
+    "ablation-grouping": (
+        "Extension (paper Section 4.1): with a zipf-skewed query-per-focal "
+        "distribution, grouping cuts broadcasts, result-report uplinks (query "
+        "bitmap), and object-side containment evaluations."
+    ),
+    "ablation-propagation": (
+        "Extension: the EQP/LQP trade at the default operating point -- lazy "
+        "saves messages (mostly uplink) for a small, measured error."
+    ),
+    "ablation-loss": (
+        "Extension (the paper assumes reliable delivery): independent "
+        "Bernoulli message loss degrades accuracy gracefully; zero loss is "
+        "exact."
+    ),
+    "ablation-mobility": (
+        "Extension: the paper's random-velocity-change model vs the standard "
+        "random-waypoint model -- EQP stays exact and MobiEyes keeps its "
+        "messaging advantage under both."
+    ),
+    "analysis-alpha": (
+        "Extension (the paper omits its analytical optimal-alpha model 'for "
+        "space restrictions'): our reconstructed model's messages/second "
+        "curve and argmin versus the simulated sweep."
+    ),
+    "analysis-lqt": (
+        "Extension: the closed-form expected-LQT-size model behind Figs. "
+        "10-12 versus the simulated mean LQT size."
+    ),
+}
+
+
+def write_report(
+    out: TextIO,
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> None:
+    """Run every experiment and write the markdown report to ``out``."""
+    effective_scale = scale if scale is not None else bench_scale_from_env()
+    params = paper_defaults().scaled(effective_scale)
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Generated by `python -m repro report`. Every table below is produced "
+        "by the same registered experiment the benchmark suite runs "
+        "(`benchmarks/test_<id>_*.py`), which also *asserts* the qualitative "
+        "shape described in each 'paper' paragraph.\n\n"
+    )
+    out.write("## Measurement setup\n\n")
+    out.write(
+        f"- workload scale: **{effective_scale:g}** of Table 1 "
+        f"(= {params.num_objects} objects, {params.num_queries} queries, "
+        f"{params.velocity_changes_per_step} velocity changes/step on "
+        f"{params.area_sq_miles:,.0f} mi^2; densities and ratios match the "
+        "paper's setup; set `REPRO_SCALE=paper` for full scale)\n"
+        f"- steps per run: {steps} (first {warmup} excluded as warm-up)\n"
+        f"- python: {sys.version.split()[0]} on {platform.machine()}\n"
+        "- absolute numbers are host- and scale-dependent; the *shapes* "
+        "(who wins, what grows, where the knees are) are the reproduction "
+        "targets\n\n"
+    )
+    out.write(
+        "Table 1 itself is reproduced as code: `repro.workload.params` "
+        "(`python -m repro params`).\n\n"
+    )
+    for exp_id, runner in EXPERIMENTS.items():
+        started = time.perf_counter()
+        result = runner(scale=scale, steps=steps, warmup=warmup)
+        elapsed = time.perf_counter() - started
+        out.write(f"## {exp_id}: {TITLES[exp_id]}\n\n")
+        expectation = PAPER_EXPECTATIONS.get(exp_id)
+        if expectation:
+            out.write(f"{expectation}\n\n")
+        out.write("Measured:\n\n```\n")
+        out.write(result.table())
+        out.write(f"\n```\n\n({elapsed:.1f}s)\n\n")

@@ -1,0 +1,6 @@
+"""Planar geometry primitives for the MobiEyes reproduction."""
+
+from repro.geometry.shapes import Circle, Rect, Shape
+from repro.geometry.vector import Point, Vector
+
+__all__ = ["Circle", "Point", "Rect", "Shape", "Vector"]

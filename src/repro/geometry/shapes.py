@@ -1,0 +1,256 @@
+"""Closed shapes used by MobiEyes: axis-aligned rectangles and circles.
+
+The paper (Section 2.2) defines two region kinds:
+
+- ``Rect(lx, ly, w, h)`` -- all points with ``x in [lx, lx+w]`` and
+  ``y in [ly, ly+h]``.
+- ``Circle(cx, cy, r)`` -- all points within distance ``r`` of ``(cx, cy)``.
+
+Query spatial regions may be "any closed shape with a computationally cheap
+point containment check"; without loss of generality the paper (and this
+implementation's defaults) use circles, but the :class:`Shape` protocol keeps
+the region pluggable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.geometry.vector import Point, Vector
+
+
+@runtime_checkable
+class Shape(Protocol):
+    """Any closed 2D region with cheap containment and bounding box."""
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on the boundary of) the shape."""
+        ...
+
+    def bounding_rect(self) -> "Rect":
+        """Smallest axis-aligned rectangle enclosing the shape."""
+        ...
+
+    def translated(self, offset: Vector) -> "Shape":
+        """The same shape moved by ``offset``."""
+        ...
+
+
+@dataclass(frozen=True, init=False, slots=True)
+class Rect:
+    """Axis-aligned rectangle ``Rect(lx, ly, w, h)`` per the paper.
+
+    ``(lx, ly)`` is the lower-left corner; ``w`` and ``h`` are non-negative
+    extents.  The rectangle is closed: boundary points are contained.
+
+    Internally the *bounds* ``(lx, ly, ux, uy)`` are stored so that union
+    and intersection are exact min/max operations -- reconstructing an upper
+    bound as ``lx + w`` after a union can drift by one ulp, which is enough
+    to make a spatial index lose points sitting exactly on an MBR corner.
+    """
+
+    lx: float
+    ly: float
+    ux: float
+    uy: float
+
+    def __init__(self, lx: float, ly: float, w: float, h: float) -> None:
+        if w < 0 or h < 0:
+            raise ValueError(f"rectangle extents must be non-negative, got w={w}, h={h}")
+        object.__setattr__(self, "lx", lx)
+        object.__setattr__(self, "ly", ly)
+        object.__setattr__(self, "ux", lx + w)
+        object.__setattr__(self, "uy", ly + h)
+
+    @staticmethod
+    def from_bounds(lx: float, ly: float, ux: float, uy: float) -> "Rect":
+        """Rectangle from exact bounds (must satisfy lx <= ux, ly <= uy)."""
+        if ux < lx or uy < ly:
+            raise ValueError(f"invalid bounds ({lx}, {ly}, {ux}, {uy})")
+        rect = object.__new__(Rect)
+        object.__setattr__(rect, "lx", lx)
+        object.__setattr__(rect, "ly", ly)
+        object.__setattr__(rect, "ux", ux)
+        object.__setattr__(rect, "uy", uy)
+        return rect
+
+    @property
+    def w(self) -> float:
+        """Width (x extent)."""
+        return self.ux - self.lx
+
+    @property
+    def h(self) -> float:
+        """Height (y extent)."""
+        return self.uy - self.ly
+
+    @property
+    def center(self) -> Point:
+        """Geometric center of the shape."""
+        return Point((self.lx + self.ux) / 2.0, (self.ly + self.uy) / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area of the shape."""
+        return (self.ux - self.lx) * (self.uy - self.ly)
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter of the rectangle."""
+        return 2.0 * ((self.ux - self.lx) + (self.uy - self.ly))
+
+    @staticmethod
+    def from_corners(x1: float, y1: float, x2: float, y2: float) -> "Rect":
+        """Rectangle spanning two opposite corners (in any order)."""
+        return Rect.from_bounds(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @staticmethod
+    def from_center(center: Point, w: float, h: float) -> "Rect":
+        """Build the shape from its center point."""
+        return Rect(center.x - w / 2.0, center.y - h / 2.0, w, h)
+
+    def contains(self, point: Point) -> bool:
+        """Whether the point lies inside (or on the boundary of) the shape."""
+        return self.lx <= point.x <= self.ux and self.ly <= point.y <= self.uy
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.lx <= other.lx
+            and self.ly <= other.ly
+            and other.ux <= self.ux
+            and other.uy <= self.uy
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-rectangle overlap test (shared edges count)."""
+        return (
+            self.lx <= other.ux
+            and other.lx <= self.ux
+            and self.ly <= other.uy
+            and other.ly <= self.uy
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect.from_bounds(
+            max(self.lx, other.lx),
+            max(self.ly, other.ly),
+            min(self.ux, other.ux),
+            min(self.uy, other.uy),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both (the bounding union)."""
+        return Rect.from_bounds(
+            min(self.lx, other.lx),
+            min(self.ly, other.ly),
+            max(self.ux, other.ux),
+            max(self.uy, other.uy),
+        )
+
+    def inflated(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side.
+
+        A negative margin shrinks the rectangle; shrinking past a degenerate
+        point raises ``ValueError`` (extents would become negative).
+        """
+        return Rect(self.lx - margin, self.ly - margin, self.w + 2 * margin, self.h + 2 * margin)
+
+    def translated(self, offset: Vector) -> "Rect":
+        """The same shape moved by the offset vector."""
+        return Rect(self.lx + offset.x, self.ly + offset.y, self.w, self.h)
+
+    def bounding_rect(self) -> "Rect":
+        """Smallest axis-aligned rectangle enclosing the shape."""
+        return self
+
+    def distance_to_point(self, point: Point) -> float:
+        """Euclidean distance from ``point`` to the rectangle (0 inside)."""
+        dx = max(self.lx - point.x, 0.0, point.x - self.ux)
+        dy = max(self.ly - point.y, 0.0, point.y - self.uy)
+        return math.hypot(dx, dy)
+
+    def clamp(self, point: Point) -> Point:
+        """Closest point of the rectangle to ``point``."""
+        return Point(
+            min(max(point.x, self.lx), self.ux),
+            min(max(point.y, self.ly), self.uy),
+        )
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.lx, self.ly),
+            Point(self.ux, self.ly),
+            Point(self.ux, self.uy),
+            Point(self.lx, self.uy),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """Circle ``Circle(cx, cy, r)`` per the paper; closed (boundary inside)."""
+
+    cx: float
+    cy: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise ValueError(f"circle radius must be non-negative, got {self.r}")
+
+    @property
+    def center(self) -> Point:
+        """Geometric center of the shape."""
+        return Point(self.cx, self.cy)
+
+    @property
+    def area(self) -> float:
+        """Area of the shape."""
+        return math.pi * self.r * self.r
+
+    @staticmethod
+    def from_center(center: Point, r: float) -> "Circle":
+        """Build the shape from its center point."""
+        return Circle(center.x, center.y, r)
+
+    def contains(self, point: Point) -> bool:
+        """Whether the point lies inside (or on the boundary of) the shape."""
+        dx = point.x - self.cx
+        dy = point.y - self.cy
+        return dx * dx + dy * dy <= self.r * self.r
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Whether the circle and (closed) rectangle overlap."""
+        return rect.distance_to_point(self.center) <= self.r
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """Whether the two (closed) circles overlap."""
+        rsum = self.r + other.r
+        return self.center.distance_squared_to(other.center) <= rsum * rsum
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Whether the rectangle lies entirely inside the circle."""
+        return all(self.contains(c) for c in rect.corners())
+
+    def bounding_rect(self) -> Rect:
+        """Smallest axis-aligned rectangle enclosing the shape."""
+        return Rect(self.cx - self.r, self.cy - self.r, 2 * self.r, 2 * self.r)
+
+    def translated(self, offset: Vector) -> "Circle":
+        """The same shape moved by the offset vector."""
+        return Circle(self.cx + offset.x, self.cy + offset.y, self.r)
+
+    def centered_at(self, center: Point) -> "Circle":
+        """The same radius re-centered at ``center``.
+
+        MobiEyes query regions are bound to a focal object through the circle
+        center, so evaluating a query means re-centering the region at the
+        (predicted) focal position.
+        """
+        return Circle(center.x, center.y, self.r)

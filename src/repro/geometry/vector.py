@@ -1,0 +1,109 @@
+"""2D vector and point arithmetic used throughout MobiEyes.
+
+The paper works in a flat two-dimensional universe of discourse, with object
+positions as points and object motion as velocity vectors ``(velx, vely)``
+(miles / hour in the paper's units).  Everything here is plain immutable
+Python -- no numpy -- because individual objects manipulate single vectors,
+not arrays, and the simulation hot loops index into per-object state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Vector:
+    """An immutable 2D vector, also used to represent points.
+
+    Supports the usual vector algebra (addition, subtraction, scalar
+    multiplication) plus the distance / norm helpers the MobiEyes
+    dead-reckoning and safe-period computations need.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return Vector(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vector") -> "Vector":
+        return Vector(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vector":
+        return Vector(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vector":
+        return Vector(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vector":
+        return Vector(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vector") -> float:
+        """Dot product with another vector."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length; avoids the sqrt when comparing."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vector") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Vector") -> float:
+        """Squared distance; avoids the sqrt when comparing against radii."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def normalized(self) -> "Vector":
+        """Unit vector in the same direction.
+
+        Raises:
+            ValueError: if this is the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Vector(self.x / length, self.y / length)
+
+    def scaled_to(self, length: float) -> "Vector":
+        """Vector in the same direction with the given length."""
+        return self.normalized() * length
+
+    def is_zero(self, tolerance: float = 0.0) -> bool:
+        """Whether both components are within ``tolerance`` of zero."""
+        return abs(self.x) <= tolerance and abs(self.y) <= tolerance
+
+    @staticmethod
+    def zero() -> "Vector":
+        """The zero vector."""
+        return _ZERO
+
+    @staticmethod
+    def from_polar(angle: float, length: float) -> "Vector":
+        """Build a vector from an angle (radians) and a length."""
+        return Vector(math.cos(angle) * length, math.sin(angle) * length)
+
+    def angle(self) -> float:
+        """Angle of the vector in radians, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+
+_ZERO = Vector(0.0, 0.0)
+
+# ``Point`` is an alias: positions and displacements share the representation.
+Point = Vector

@@ -1,0 +1,19 @@
+"""Grid model: universe of discourse, cells, Pmap, monitoring regions."""
+
+from repro.grid.grid import CellIndex, CellRange, Grid
+from repro.grid.regions import (
+    bounding_box,
+    monitoring_region,
+    monitoring_region_rect,
+    region_reach,
+)
+
+__all__ = [
+    "CellIndex",
+    "CellRange",
+    "Grid",
+    "bounding_box",
+    "monitoring_region",
+    "monitoring_region_rect",
+    "region_reach",
+]

@@ -1,0 +1,64 @@
+"""Bounding boxes and monitoring regions of moving queries (paper Section 2.3).
+
+Given a query whose focal object currently sits in grid cell ``rc`` and whose
+spatial region is a circle of radius ``r``:
+
+- ``bound_box(q) = Rect(rc.lx - r, rc.ly - r, alpha + 2r, alpha + 2r)`` -- the
+  rectangle covering every position the query region can reach while the
+  focal object stays inside ``rc``.
+- ``mon_region(q)`` -- the union of grid cells intersecting the bounding box;
+  always a contiguous rectangular block of cells, represented as a
+  :class:`~repro.grid.grid.CellRange`.
+
+For a general (non-circular) query region the same construction applies with
+``r`` replaced by the region's maximal extent from its binding point; we
+compute that from the region's bounding rectangle.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Circle, Point, Rect, Shape
+from repro.grid.grid import CellIndex, CellRange, Grid
+
+
+def region_reach(region: Shape) -> float:
+    """Maximal distance from the region's binding point to its boundary.
+
+    Query regions are expressed in focal-relative coordinates with the
+    binding point at the origin.  For a circle bound through its center this
+    is simply the radius.  For an arbitrary shape we take the largest
+    Euclidean distance from the origin to a corner of its bounding
+    rectangle -- the true reach for rectangles, a safe over-approximation
+    for anything else, keeping the monitoring region (and the grouping /
+    safe-period distance bounds) a superset of the exact region.
+    """
+    if isinstance(region, Circle):
+        if region.cx == 0.0 and region.cy == 0.0:
+            return region.r
+        return region.r + Point(region.cx, region.cy).norm()
+    rect = region.bounding_rect()
+    return max(corner.norm() for corner in rect.corners())
+
+
+def bounding_box(grid: Grid, focal_cell: CellIndex, region: Shape) -> Rect:
+    """The paper's ``bound_box(q)`` for a focal object in ``focal_cell``."""
+    reach = region_reach(region)
+    cell_rect = grid.cell_rect(focal_cell)
+    return Rect(
+        cell_rect.lx - reach,
+        cell_rect.ly - reach,
+        grid.alpha + 2.0 * reach,
+        grid.alpha + 2.0 * reach,
+    )
+
+
+def monitoring_region(grid: Grid, focal_cell: CellIndex, region: Shape) -> CellRange:
+    """The paper's ``mon_region(q)``: grid cells intersecting the bounding box."""
+    return grid.cells_intersecting(bounding_box(grid, focal_cell, region))
+
+
+def monitoring_region_rect(grid: Grid, mon_region: CellRange) -> Rect:
+    """The geometric footprint (a rectangle) of a monitoring region."""
+    lower_left = grid.cell_rect((mon_region.lo_i, mon_region.lo_j))
+    upper_right = grid.cell_rect((mon_region.hi_i, mon_region.hi_j))
+    return lower_left.union(upper_right)

@@ -1,0 +1,14 @@
+"""Measurement: oracle accuracy, per-step stats, and report formatting."""
+
+from repro.metrics.accuracy import exact_results, mean_result_error, result_error
+from repro.metrics.collectors import MetricsLog, StepStats
+from repro.metrics.report import format_table
+
+__all__ = [
+    "MetricsLog",
+    "StepStats",
+    "exact_results",
+    "format_table",
+    "mean_result_error",
+    "result_error",
+]

@@ -1,0 +1,83 @@
+"""Ground-truth query evaluation and result-error measurement.
+
+The paper (Fig. 2) defines the *error* of a query result at a time instant
+as the number of object identifiers *missing* from the reported result
+(compared to the correct result) divided by the size of the correct result.
+Queries with an empty correct result contribute no sample.
+
+:func:`exact_results` is an omniscient oracle: it evaluates every installed
+query against the true object positions, bucketing objects by grid cell so
+each query only inspects the cells its region can touch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.query import MovingQuery, QueryId
+from repro.grid import Grid
+from repro.mobility.model import MovingObject, ObjectId
+
+
+def exact_results(
+    objects: Iterable[MovingObject],
+    queries: Iterable[MovingQuery],
+    grid: Grid,
+) -> dict[QueryId, frozenset[ObjectId]]:
+    """Evaluate every query against true positions (the oracle).
+
+    The focal object itself is never part of its own query's result,
+    matching the protocol (an object does not monitor its own queries).
+    """
+    by_id: dict[ObjectId, MovingObject] = {}
+    buckets: dict[tuple[int, int], list[MovingObject]] = {}
+    for obj in objects:
+        by_id[obj.oid] = obj
+        buckets.setdefault(grid.cell_index(obj.pos), []).append(obj)
+
+    results: dict[QueryId, frozenset[ObjectId]] = {}
+    for query in queries:
+        if query.oid is None:
+            region = query.region  # static query: fixed absolute region
+        else:
+            focal = by_id.get(query.oid)
+            if focal is None:
+                results[query.qid] = frozenset()
+                continue
+            region = query.region_at(focal.pos)
+        members: set[ObjectId] = set()
+        for cell in grid.cells_intersecting(region.bounding_rect()):
+            for obj in buckets.get(cell, ()):
+                if obj.oid == query.oid:
+                    continue
+                if region.contains(obj.pos) and query.filter.matches(obj.props):
+                    members.add(obj.oid)
+        results[query.qid] = frozenset(members)
+    return results
+
+
+def result_error(
+    reported: frozenset[ObjectId] | set[ObjectId],
+    correct: frozenset[ObjectId] | set[ObjectId],
+) -> float | None:
+    """Missing fraction per the paper; ``None`` when the correct result is
+    empty (no sample)."""
+    if not correct:
+        return None
+    missing = len(set(correct) - set(reported))
+    return missing / len(correct)
+
+
+def mean_result_error(
+    reported: Mapping[QueryId, frozenset[ObjectId]],
+    correct: Mapping[QueryId, frozenset[ObjectId]],
+) -> float | None:
+    """Average error over the queries that have a non-empty correct result."""
+    samples = [
+        error
+        for qid, correct_set in correct.items()
+        if (error := result_error(reported.get(qid, frozenset()), correct_set)) is not None
+    ]
+    if not samples:
+        return None
+    return sum(samples) / len(samples)

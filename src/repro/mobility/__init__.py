@@ -1,0 +1,16 @@
+"""Mobility substrate: moving objects, motion model, dead reckoning."""
+
+from repro.mobility.dead_reckoning import DeadReckoner
+from repro.mobility.model import MotionState, MovingObject, ObjectId
+from repro.mobility.motion import MotionModel, reflect_into
+from repro.mobility.waypoint import RandomWaypointModel
+
+__all__ = [
+    "DeadReckoner",
+    "MotionModel",
+    "MotionState",
+    "MovingObject",
+    "ObjectId",
+    "RandomWaypointModel",
+    "reflect_into",
+]

@@ -1,0 +1,49 @@
+"""Dead reckoning (paper Section 3.4).
+
+Focal objects do not broadcast every tiny velocity fluctuation.  Each step a
+focal object samples its true position and compares it against the position
+*other* objects believe it to be at -- the linear extrapolation of the last
+relayed ``(pos, vel, tm)``.  Only when the deviation exceeds a threshold
+``delta`` is the fresh motion state relayed (a *significant* velocity-vector
+change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point
+from repro.mobility.model import MotionState
+
+
+@dataclass(slots=True)
+class DeadReckoner:
+    """Tracks the last relayed motion state of one object.
+
+    Args:
+        threshold: the paper's ``delta`` -- maximum tolerated deviation
+            (miles) between the true position and the position predicted
+            from the last relayed state.  ``0`` forces a relay on any
+            deviation, which makes object-side predictions exact under
+            piecewise-linear motion.
+    """
+
+    relayed: MotionState
+    threshold: float = 0.0
+
+    def predicted(self, now_hours: float) -> Point:
+        """Where observers believe the object is at ``now_hours``."""
+        return self.relayed.predict(now_hours)
+
+    def deviation(self, true_pos: Point, now_hours: float) -> float:
+        """Distance between the true and the believed position."""
+        return true_pos.distance_to(self.predicted(now_hours))
+
+    def needs_relay(self, true_pos: Point, now_hours: float) -> bool:
+        """Whether the deviation exceeds the threshold ``delta``."""
+        return self.deviation(true_pos, now_hours) > self.threshold
+
+    def relay(self, state: MotionState) -> MotionState:
+        """Record a fresh relayed state; returns it for convenience."""
+        self.relayed = state
+        return state

@@ -1,0 +1,69 @@
+"""The moving object model (paper Section 2.2).
+
+A moving object is the quadruple ``<oid, pos, vel, {props}>``: a unique id,
+a current position, a current velocity vector (miles/hour), and a property
+set over which query filters are evaluated.  Each object additionally carries
+its maximum speed (used by the safe-period optimization, which requires a
+known upper bound ``maxVel``) and the timestamp at which ``pos``/``vel``
+were last recorded (objects have synchronized clocks, per the paper's
+system assumptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geometry import Point, Vector
+
+ObjectId = int
+
+
+@dataclass(slots=True)
+class MovingObject:
+    """A mobile unit: position, velocity, properties, and speed bound.
+
+    Attributes:
+        oid: unique object identifier.
+        pos: current position (miles from the UoD origin).
+        vel: current velocity vector (miles/hour).
+        max_speed: upper bound on the object's speed (miles/hour); required
+            by the safe-period optimization.
+        props: application properties evaluated by query filters.
+        recorded_at: simulation time (hours) at which ``pos``/``vel`` were
+            recorded by the object itself.
+    """
+
+    oid: ObjectId
+    pos: Point
+    vel: Vector = field(default_factory=Vector.zero)
+    max_speed: float = 0.0
+    props: dict[str, Any] = field(default_factory=dict)
+    recorded_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_speed < 0:
+            raise ValueError(f"max_speed must be non-negative, got {self.max_speed}")
+
+    @property
+    def speed(self) -> float:
+        """Current scalar speed (miles/hour)."""
+        return self.vel.norm()
+
+    def snapshot(self) -> "MotionState":
+        """An immutable copy of the kinematic state, for reports/broadcasts."""
+        return MotionState(pos=self.pos, vel=self.vel, recorded_at=self.recorded_at)
+
+
+@dataclass(frozen=True, slots=True)
+class MotionState:
+    """Immutable ``(pos, vel, tm)`` triple as shipped in protocol messages."""
+
+    pos: Point
+    vel: Vector
+    recorded_at: float
+
+    def predict(self, now_hours: float) -> Point:
+        """Dead-reckoned position at time ``now_hours`` (linear motion)."""
+        dt = now_hours - self.recorded_at
+        return Point(self.pos.x + self.vel.x * dt, self.pos.y + self.vel.y * dt)

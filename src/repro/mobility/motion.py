@@ -1,0 +1,112 @@
+"""Object motion: per-step advancement and random velocity re-assignment.
+
+The paper's movement model (Section 5.1): every time step a fixed number of
+objects (``nmo``) is picked at random; each picked object gets a fresh
+uniform-random direction and a speed uniform in ``[0, max_speed]``.  All
+other objects continue with unchanged velocity vectors.  Objects stay inside
+the universe of discourse; we reflect them off the UoD boundary (the paper
+does not specify a boundary rule -- reflection keeps density uniform, which
+matches the paper's uniform workload).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry import Point, Rect, Vector
+from repro.mobility.model import MovingObject, ObjectId
+from repro.sim.rng import SimulationRng
+
+
+def reflect_into(rect: Rect, pos: Point, vel: Vector) -> tuple[Point, Vector]:
+    """Reflect a position (and its velocity) back inside ``rect``.
+
+    Handles multiple bounces for fast objects by folding the coordinate into
+    the doubled-period interval, exactly as a billiard reflection.
+    """
+    x, vx = _reflect_axis(pos.x, vel.x, rect.lx, rect.ux)
+    y, vy = _reflect_axis(pos.y, vel.y, rect.ly, rect.uy)
+    return Point(x, y), Vector(vx, vy)
+
+
+def _reflect_axis(coord: float, vel: float, lo: float, hi: float) -> tuple[float, float]:
+    span = hi - lo
+    if span <= 0:
+        return lo, -vel
+    if lo <= coord <= hi:
+        return coord, vel
+    # Fold into the triangle wave of period 2*span: the ascending half keeps
+    # the velocity sign (even number of bounces), the descending half flips it.
+    offset = (coord - lo) % (2.0 * span)
+    if offset <= span:
+        return lo + offset, vel
+    return hi - (offset - span), -vel
+
+
+class MotionModel:
+    """Advances a population of moving objects step by step."""
+
+    def __init__(
+        self,
+        objects: Sequence[MovingObject],
+        uod: Rect,
+        rng: SimulationRng,
+        velocity_changes_per_step: int = 0,
+    ) -> None:
+        self.objects = list(objects)
+        self._by_id: dict[ObjectId, MovingObject] = {o.oid: o for o in self.objects}
+        if len(self._by_id) != len(self.objects):
+            raise ValueError("duplicate object ids in population")
+        self.uod = uod
+        self.rng = rng
+        self.velocity_changes_per_step = velocity_changes_per_step
+        #: object ids whose velocity vector changed during the last step
+        self.changed_last_step: list[ObjectId] = []
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def get(self, oid: ObjectId) -> MovingObject:
+        """Look up a stored entry by its identifier."""
+        return self._by_id[oid]
+
+    def ids(self) -> Iterable[ObjectId]:
+        """Iterate over the stored identifiers."""
+        return self._by_id.keys()
+
+    def advance(self, step_hours: float, now_hours: float) -> None:
+        """Move every object along its velocity for one step, then randomly
+        re-assign velocity vectors to ``velocity_changes_per_step`` objects.
+        """
+        for obj in self.objects:
+            if obj.vel.x == 0.0 and obj.vel.y == 0.0:
+                continue
+            raw = Point(obj.pos.x + obj.vel.x * step_hours, obj.pos.y + obj.vel.y * step_hours)
+            pos, vel = reflect_into(self.uod, raw, obj.vel)
+            velocity_changed = vel != obj.vel
+            obj.pos = pos
+            if velocity_changed:
+                obj.vel = vel
+            # Objects continuously re-record their own state (GPS + clock).
+            obj.recorded_at = now_hours
+
+        self.changed_last_step = []
+        count = min(self.velocity_changes_per_step, len(self.objects))
+        if count > 0:
+            for obj in self.rng.sample(self.objects, count):
+                self._randomize_velocity(obj, now_hours)
+                self.changed_last_step.append(obj.oid)
+
+    def _randomize_velocity(self, obj: MovingObject, now_hours: float) -> None:
+        speed = self.rng.uniform(0.0, obj.max_speed)
+        obj.vel = Vector.from_polar(self.rng.direction(), speed)
+        obj.recorded_at = now_hours
+
+    def bounced_objects(self) -> list[ObjectId]:
+        """Ids of objects whose velocity changed by boundary reflection in
+        the last ``advance`` call are included in ``changed_last_step`` only
+        when they were also randomly re-assigned; reflections are treated as
+        ordinary motion (the focal-object dead-reckoning check catches the
+        deviation they cause).
+        """
+        return list(self.changed_last_step)

@@ -1,0 +1,17 @@
+"""Wireless network substrate: base stations, messaging, radio energy."""
+
+from repro.network.basestation import BaseStation, BaseStationId, BaseStationLayout
+from repro.network.loss import RELIABLE_MESSAGE_TYPES, LossModel
+from repro.network.messaging import LedgerSnapshot, MessageLedger
+from repro.network.radio import RadioModel
+
+__all__ = [
+    "BaseStation",
+    "BaseStationId",
+    "BaseStationLayout",
+    "LedgerSnapshot",
+    "LossModel",
+    "MessageLedger",
+    "RELIABLE_MESSAGE_TYPES",
+    "RadioModel",
+]

@@ -1,0 +1,167 @@
+"""Base stations and the grid-cell-to-base-station mapping ``Bmap``.
+
+The paper assumes the universe of discourse is covered by base stations with
+circular coverage regions; a base station broadcasts to every object inside
+its circle, and objects uplink to a covering station.  Table 1 parameterizes
+the deployment by a *base station side length* ``alen``: we realize this as
+a square lattice of stations, one per ``alen x alen`` tile, each with
+coverage radius equal to the tile's circumradius ``alen * sqrt(2) / 2`` so
+the union of circles covers the UoD.
+
+``Bmap(i, j)`` maps a grid cell to the set of stations whose coverage circle
+intersects the cell; the server uses it to pick a *minimal* set of stations
+whose circles jointly cover a query's monitoring region (greedy set cover,
+which is the standard polynomial approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry import Circle, Point
+from repro.grid import CellIndex, CellRange, Grid
+
+BaseStationId = int
+
+
+@dataclass(frozen=True, slots=True)
+class BaseStation:
+    """One base station: identifier and circular coverage region."""
+
+    bsid: BaseStationId
+    coverage: Circle
+
+    def covers_point(self, point: Point) -> bool:
+        """Whether the station's coverage circle contains the point."""
+        return self.coverage.contains(point)
+
+    def covers_cell(self, grid: Grid, cell: CellIndex) -> bool:
+        """Whether the station's coverage intersects the grid cell."""
+        return self.coverage.intersects_rect(grid.cell_rect(cell))
+
+
+class BaseStationLayout:
+    """A lattice deployment of base stations covering a grid's UoD.
+
+    Args:
+        grid: the MobiEyes grid (provides the UoD and cell geometry).
+        side_length: the paper's ``alen``; one station per ``alen x alen``
+            tile of the UoD.
+    """
+
+    def __init__(self, grid: Grid, side_length: float) -> None:
+        if side_length <= 0:
+            raise ValueError(f"base station side length must be positive, got {side_length}")
+        self.grid = grid
+        self.side_length = float(side_length)
+        self.stations: list[BaseStation] = []
+        self._build_lattice()
+        self._bmap: dict[CellIndex, tuple[BaseStationId, ...]] = {}
+        self._build_bmap()
+
+    def _build_lattice(self) -> None:
+        uod = self.grid.uod
+        self.tile_cols = max(1, math.ceil(uod.w / self.side_length))
+        self.tile_rows = max(1, math.ceil(uod.h / self.side_length))
+        cols, rows = self.tile_cols, self.tile_rows
+        radius = self.side_length * math.sqrt(2.0) / 2.0
+        bsid = 0
+        for i in range(cols):
+            for j in range(rows):
+                center = Point(
+                    uod.lx + (i + 0.5) * self.side_length,
+                    uod.ly + (j + 0.5) * self.side_length,
+                )
+                self.stations.append(BaseStation(bsid, Circle.from_center(center, radius)))
+                bsid += 1
+
+    def _build_bmap(self) -> None:
+        # Each station's circle only intersects nearby cells; restrict the
+        # scan to the cells intersecting the circle's bounding rect.
+        cell_sets: dict[CellIndex, list[BaseStationId]] = {}
+        for station in self.stations:
+            candidates = self.grid.cells_intersecting(station.coverage.bounding_rect())
+            for cell in candidates:
+                if station.coverage.intersects_rect(self.grid.cell_rect(cell)):
+                    cell_sets.setdefault(cell, []).append(station.bsid)
+        for cell in self.grid.all_cells():
+            ids = cell_sets.get(cell)
+            if not ids:
+                raise RuntimeError(f"grid cell {cell} is not covered by any base station")
+            self._bmap[cell] = tuple(sorted(ids))
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def get(self, bsid: BaseStationId) -> BaseStation:
+        """Look up a stored entry by its identifier."""
+        return self.stations[bsid]
+
+    def bmap(self, cell: CellIndex) -> tuple[BaseStationId, ...]:
+        """``Bmap(i, j)``: stations whose coverage intersects the cell."""
+        return self._bmap[cell]
+
+    def tile_of_point(self, point: Point) -> tuple[int, int]:
+        """The lattice tile (station tile) containing ``point``."""
+        uod = self.grid.uod
+        i = min(max(int((point.x - uod.lx) / self.side_length), 0), self.tile_cols - 1)
+        j = min(max(int((point.y - uod.ly) / self.side_length), 0), self.tile_rows - 1)
+        return (i, j)
+
+    def station_at_tile(self, tile: tuple[int, int]) -> BaseStation:
+        """The station deployed on the given lattice tile."""
+        i, j = tile
+        return self.stations[i * self.tile_rows + j]
+
+    def tile_of_station(self, bsid: BaseStationId) -> tuple[int, int]:
+        """The lattice tile a station is deployed on."""
+        return (bsid // self.tile_rows, bsid % self.tile_rows)
+
+    def station_covering(self, point: Point) -> BaseStation:
+        """A station covering ``point`` (objects uplink through one).
+
+        Picks the station of the point's lattice tile; its circumradius
+        coverage circle always contains the tile.
+        """
+        station = self.station_at_tile(self.tile_of_point(point))
+        if not station.covers_point(point):  # lattice guarantees this
+            raise RuntimeError(f"no base station covers {point}")
+        return station
+
+    def minimal_cover(self, region: "CellRange | Iterable[CellIndex]") -> list[BaseStationId]:
+        """Greedy minimal set of stations covering every cell of ``region``.
+
+        This is the server's "minimum number of broadcasts" computation: one
+        broadcast message per returned station.  ``region`` is any iterable
+        of cell indices (a :class:`CellRange`, or the union of two ranges
+        when a focal object's monitoring region moved).
+        """
+        uncovered: set[CellIndex] = set(region)
+        if not uncovered:
+            return []
+        chosen: list[BaseStationId] = []
+        # Candidate stations: anything appearing in the Bmap of a region cell.
+        candidates: dict[BaseStationId, set[CellIndex]] = {}
+        for cell in uncovered:
+            for bsid in self._bmap[cell]:
+                candidates.setdefault(bsid, set()).add(cell)
+        while uncovered:
+            best_id, best_cells = max(
+                candidates.items(),
+                key=lambda item: (len(item[1] & uncovered), -item[0]),
+            )
+            gained = best_cells & uncovered
+            if not gained:
+                raise RuntimeError("region cell not coverable; Bmap inconsistent")
+            chosen.append(best_id)
+            uncovered -= gained
+            del candidates[best_id]
+        return sorted(chosen)
+
+    def stations_hearing(self, point: Point) -> list[BaseStationId]:
+        """All stations whose coverage contains ``point`` (for broadcast
+        reception accounting: an object hears a broadcast when any chosen
+        station's circle covers it)."""
+        return [s.bsid for s in self.stations if s.coverage.contains(point)]

@@ -1,0 +1,62 @@
+"""Wireless message loss injection.
+
+The paper assumes reliable delivery; real deployments drop packets.  The
+:class:`LossModel` injects independent random loss on uplink messages and
+per-receiver downlink deliveries, letting the test suite and the loss
+ablation measure how gracefully the protocol degrades (stale results heal
+at the next velocity-change broadcast or cell crossing).
+
+Control-plane messages used during query installation
+(:class:`~repro.core.messages.MotionStateRequest` / ``Response`` and
+``FocalRoleNotification``) are treated as reliable -- in a real system they
+are retransmitted until acknowledged -- so an installation never silently
+half-completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.rng import SimulationRng
+
+RELIABLE_MESSAGE_TYPES = frozenset(
+    {"MotionStateRequest", "MotionStateResponse", "FocalRoleNotification"}
+)
+
+
+@dataclass
+class LossModel:
+    """Independent Bernoulli loss per message / per delivery."""
+
+    rng: SimulationRng
+    uplink_loss_rate: float = 0.0
+    downlink_loss_rate: float = 0.0
+    reliable_types: frozenset[str] = RELIABLE_MESSAGE_TYPES
+    dropped_uplinks: int = field(default=0, init=False)
+    dropped_deliveries: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        for rate in (self.uplink_loss_rate, self.downlink_loss_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+
+    def _is_reliable(self, message: object) -> bool:
+        return type(message).__name__ in self.reliable_types
+
+    def drop_uplink(self, message: object) -> bool:
+        """Whether this object -> server message is lost in transit."""
+        if self.uplink_loss_rate == 0.0 or self._is_reliable(message):
+            return False
+        if self.rng.random() < self.uplink_loss_rate:
+            self.dropped_uplinks += 1
+            return True
+        return False
+
+    def drop_delivery(self, message: object) -> bool:
+        """Whether one receiver misses this downlink message."""
+        if self.downlink_loss_rate == 0.0 or self._is_reliable(message):
+            return False
+        if self.rng.random() < self.downlink_loss_rate:
+            self.dropped_deliveries += 1
+            return True
+        return False

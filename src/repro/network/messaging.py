@@ -1,0 +1,140 @@
+"""Message accounting on the wireless medium.
+
+The paper's messaging-cost experiments count *messages sent on the wireless
+medium per second*, split into uplink messages (object -> server) and
+downlink messages (base-station broadcast, or one-to-one server -> object
+message).  The power experiments additionally account message *sizes* and
+charge transmit energy to the sender and receive energy to every object
+that hears a broadcast (including over-hearers outside the monitoring
+region -- the paper calls this out as MobiEyes' main energy overhead).
+
+The :class:`MessageLedger` is shared by MobiEyes and the centralized
+baselines so the experiments compare identical accounting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.mobility.model import ObjectId
+from repro.network.radio import RadioModel
+
+
+@dataclass
+class MessageLedger:
+    """Counts, sizes, and per-object energy for all wireless traffic."""
+
+    radio: RadioModel = field(default_factory=RadioModel)
+    uplink_count: int = 0
+    downlink_count: int = 0
+    uplink_bits: float = 0.0
+    downlink_bits: float = 0.0
+    counts_by_type: Counter = field(default_factory=Counter)
+    bits_by_type: Counter = field(default_factory=Counter)
+    energy_by_object: dict[ObjectId, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- recording
+
+    def record_uplink(self, msg_type: str, bits: float, sender: ObjectId | None = None) -> None:
+        """One object -> server message."""
+        self.uplink_count += 1
+        self.uplink_bits += bits
+        self.counts_by_type[msg_type] += 1
+        self.bits_by_type[msg_type] += bits
+        if sender is not None:
+            self._charge(sender, self.radio.transmit_energy(bits))
+
+    def record_downlink(
+        self,
+        msg_type: str,
+        bits: float,
+        receivers: Iterable[ObjectId] = (),
+        broadcasts: int = 1,
+    ) -> None:
+        """Server -> objects traffic.
+
+        ``broadcasts`` is the number of wireless messages (one per base
+        station for a broadcast, 1 for a one-to-one message); ``receivers``
+        are all objects that hear the message and pay receive energy.
+        """
+        self.downlink_count += broadcasts
+        self.downlink_bits += bits * broadcasts
+        self.counts_by_type[msg_type] += broadcasts
+        self.bits_by_type[msg_type] += bits * broadcasts
+        rx_energy = self.radio.receive_energy(bits)
+        for oid in receivers:
+            self._charge(oid, rx_energy)
+
+    def _charge(self, oid: ObjectId, joules: float) -> None:
+        self.energy_by_object[oid] = self.energy_by_object.get(oid, 0.0) + joules
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def total_count(self) -> int:
+        """Total number of wireless messages."""
+        return self.uplink_count + self.downlink_count
+
+    @property
+    def total_bits(self) -> float:
+        """Uplink plus downlink bits."""
+        return self.uplink_bits + self.downlink_bits
+
+    def total_energy(self) -> float:
+        """Total joules charged across all objects."""
+        return sum(self.energy_by_object.values())
+
+    def mean_energy_per_object(self, population: int) -> float:
+        """Average joules per object over a population of ``population``
+        devices (objects that never communicated count as zero)."""
+        if population <= 0:
+            raise ValueError("population must be positive")
+        return self.total_energy() / population
+
+    def snapshot(self) -> "LedgerSnapshot":
+        """An immutable copy of the running totals."""
+        return LedgerSnapshot(
+            uplink_count=self.uplink_count,
+            downlink_count=self.downlink_count,
+            uplink_bits=self.uplink_bits,
+            downlink_bits=self.downlink_bits,
+            total_energy=self.total_energy(),
+        )
+
+    def reset(self) -> None:
+        """Reset the accumulated state."""
+        self.uplink_count = 0
+        self.downlink_count = 0
+        self.uplink_bits = 0.0
+        self.downlink_bits = 0.0
+        self.counts_by_type.clear()
+        self.bits_by_type.clear()
+        self.energy_by_object.clear()
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerSnapshot:
+    """Immutable totals, used to compute per-interval deltas."""
+
+    uplink_count: int
+    downlink_count: int
+    uplink_bits: float
+    downlink_bits: float
+    total_energy: float
+
+    def delta(self, later: "LedgerSnapshot") -> "LedgerSnapshot":
+        """Per-field difference between this and a later snapshot."""
+        return LedgerSnapshot(
+            uplink_count=later.uplink_count - self.uplink_count,
+            downlink_count=later.downlink_count - self.downlink_count,
+            uplink_bits=later.uplink_bits - self.uplink_bits,
+            downlink_bits=later.downlink_bits - self.downlink_bits,
+            total_energy=later.total_energy - self.total_energy,
+        )
+
+    @property
+    def total_count(self) -> int:
+        """Total number of wireless messages."""
+        return self.uplink_count + self.downlink_count

@@ -1,0 +1,17 @@
+"""Time-stepped simulation substrate: clock, engine, RNG, tracing."""
+
+from repro.sim.clock import SECONDS_PER_HOUR, SimulationClock
+from repro.sim.engine import PHASE_ORDER, SimulationEngine
+from repro.sim.rng import SimulationRng, zipf_weights
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "PHASE_ORDER",
+    "SECONDS_PER_HOUR",
+    "SimulationClock",
+    "SimulationEngine",
+    "SimulationRng",
+    "TraceEvent",
+    "TraceLog",
+    "zipf_weights",
+]

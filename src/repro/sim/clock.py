@@ -1,0 +1,54 @@
+"""Simulation clock.
+
+The paper's evaluation is a time-stepped simulation with a 30-second time
+step (Table 1).  The clock tracks both the integer step index and continuous
+simulation time in seconds; object motion and dead reckoning use *hours*
+because speeds are in miles/hour, so conversion helpers are provided.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+
+
+class SimulationClock:
+    """Discrete time-stepped clock.
+
+    Args:
+        step_seconds: simulated wall time per step (paper default: 30 s).
+    """
+
+    __slots__ = ("step_seconds", "step")
+
+    def __init__(self, step_seconds: float = 30.0) -> None:
+        if step_seconds <= 0:
+            raise ValueError(f"step_seconds must be positive, got {step_seconds}")
+        self.step_seconds = float(step_seconds)
+        self.step = 0
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in seconds."""
+        return self.step * self.step_seconds
+
+    @property
+    def now_hours(self) -> float:
+        """Current simulation time in hours (speeds are miles/hour)."""
+        return self.now_seconds / SECONDS_PER_HOUR
+
+    @property
+    def step_hours(self) -> float:
+        """Duration of one step in hours."""
+        return self.step_seconds / SECONDS_PER_HOUR
+
+    def advance(self) -> int:
+        """Move to the next step; returns the new step index."""
+        self.step += 1
+        return self.step
+
+    def reset(self) -> None:
+        """Reset the accumulated state."""
+        self.step = 0
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(step={self.step}, t={self.now_seconds:.0f}s)"

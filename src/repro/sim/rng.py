@@ -1,0 +1,102 @@
+"""Deterministic random sampling for the simulation.
+
+Table 1 of the paper draws query-radius means and maximum object speeds from
+small candidate lists via a *zipf distribution with parameter 0.8*, query
+radii from a normal around the chosen mean, and positions / directions
+uniformly.  All sampling in the reproduction flows through
+:class:`SimulationRng`, a thin seeded wrapper over :mod:`random`, so every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_weights(n: int, exponent: float) -> list[float]:
+    """Normalized zipf weights ``p(k) ~ 1 / k**exponent`` for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("need at least one rank")
+    raw = [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class SimulationRng:
+    """Seeded random source with the samplers the workload model needs."""
+
+    def __init__(self, seed: int | None = 42) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, salt: int) -> "SimulationRng":
+        """A new independent stream derived from this one (for sub-systems)."""
+        base = self.seed if self.seed is not None else 0
+        return SimulationRng(seed=(base * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    # ----------------------------------------------------------- primitives
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """Uniform float in [lo, hi]."""
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal sample with the given mean and sigma."""
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly pick one element."""
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """Uniformly pick k distinct elements."""
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: list[T]) -> None:
+        """Shuffle the list in place."""
+        self._random.shuffle(items)
+
+    # ------------------------------------------------------ domain samplers
+
+    def weighted_choice(self, candidates: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one candidate with the given (unnormalized) weights."""
+        return self._random.choices(list(candidates), weights=list(weights), k=1)[0]
+
+    def zipf_choice(self, candidates: Sequence[T], exponent: float = 0.8) -> T:
+        """Pick from ``candidates`` with zipf(exponent) rank weights.
+
+        The first element is the most likely, matching the paper's ordered
+        candidate lists, e.g. radii ``{3, 2, 1, 4, 5}`` and speeds
+        ``{100, 50, 150, 200, 250}``.
+        """
+        weights = zipf_weights(len(candidates), exponent)
+        return self._random.choices(list(candidates), weights=weights, k=1)[0]
+
+    def truncated_gauss(self, mu: float, sigma: float, lo: float, hi: float | None = None) -> float:
+        """Normal sample rejected back into ``[lo, hi]``.
+
+        Used for query radii: the paper draws the radius from a normal with
+        sigma = mean / 5; we truncate at a small positive lower bound so a
+        radius is always a valid circle.
+        """
+        for _ in range(64):
+            value = self._random.gauss(mu, sigma)
+            if value >= lo and (hi is None or value <= hi):
+                return value
+        return min(max(mu, lo), hi) if hi is not None else max(mu, lo)
+
+    def direction(self) -> float:
+        """Uniform random heading in radians."""
+        return self._random.uniform(0.0, 2.0 * math.pi)

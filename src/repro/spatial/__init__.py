@@ -1,0 +1,5 @@
+"""Spatial indexing substrate: a from-scratch R*-tree."""
+
+from repro.spatial.rstar import RStarTree
+
+__all__ = ["RStarTree"]

@@ -1,0 +1,5 @@
+"""Terminal visualization helpers (world maps, sparklines, charts)."""
+
+from repro.viz.ascii import line_chart, render_world, sparkline
+
+__all__ = ["line_chart", "render_world", "sparkline"]

@@ -1,0 +1,35 @@
+"""Workload generation: Table 1 parameters, objects, queries, filters."""
+
+from repro.workload.filters import (
+    CLASS_PROPERTY,
+    CLASS_SPACE,
+    ClassThresholdFilter,
+    filter_for_selectivity,
+)
+from repro.workload.generator import (
+    Workload,
+    generate_objects,
+    generate_queries,
+    generate_workload,
+)
+from repro.workload.params import (
+    SimulationParameters,
+    bench_defaults,
+    bench_scale_from_env,
+    paper_defaults,
+)
+
+__all__ = [
+    "CLASS_PROPERTY",
+    "CLASS_SPACE",
+    "ClassThresholdFilter",
+    "SimulationParameters",
+    "Workload",
+    "bench_defaults",
+    "bench_scale_from_env",
+    "filter_for_selectivity",
+    "generate_objects",
+    "generate_queries",
+    "generate_workload",
+    "paper_defaults",
+]

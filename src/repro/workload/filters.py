@@ -1,0 +1,47 @@
+"""Query filters used by the Table 1 workload.
+
+The paper fixes query selectivity at 0.75: a random 75 % of objects satisfy
+any given query's filter.  We realize this with a ``class`` property drawn
+uniformly from ``[0, 100)`` per object and a threshold filter -- objects
+with ``class < 75`` pass, independent of position, exactly a 0.75
+selectivity in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+CLASS_PROPERTY = "class"
+CLASS_SPACE = 100
+
+
+@dataclass(frozen=True, slots=True)
+class ClassThresholdFilter:
+    """Passes objects whose ``class`` property is below ``threshold``.
+
+    With object classes uniform in ``[0, CLASS_SPACE)`` the selectivity is
+    ``threshold / CLASS_SPACE``.
+    """
+
+    threshold: int = 75
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.threshold <= CLASS_SPACE:
+            raise ValueError(f"threshold must be in [0, {CLASS_SPACE}], got {self.threshold}")
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of a uniform population passing this filter."""
+        return self.threshold / CLASS_SPACE
+
+    def matches(self, props: Mapping[str, Any]) -> bool:
+        """Whether an object with these properties passes the filter."""
+        return props.get(CLASS_PROPERTY, CLASS_SPACE) < self.threshold
+
+
+def filter_for_selectivity(selectivity: float) -> ClassThresholdFilter:
+    """The threshold filter with the given selectivity (paper: 0.75)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+    return ClassThresholdFilter(threshold=round(selectivity * CLASS_SPACE))

@@ -1,0 +1,96 @@
+"""Workload generation per the paper's simulation setup (Section 5.1).
+
+Objects are placed uniformly in the universe of discourse, assigned a
+maximum speed from the zipf-weighted speed list, an initial random velocity
+(uniform direction, speed uniform in ``[0, max_speed]``), and a uniform
+``class`` property for filter selectivity.  Focal objects of queries are
+drawn uniformly without replacement by default (or with a zipf skew for the
+query-grouping experiments); each query's radius is normal around a
+zipf-chosen mean with sigma = mean / 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import QuerySpec
+from repro.geometry import Circle, Point, Vector
+from repro.mobility.model import MovingObject
+from repro.sim.rng import SimulationRng, zipf_weights
+from repro.workload.filters import CLASS_PROPERTY, CLASS_SPACE, filter_for_selectivity
+from repro.workload.params import SimulationParameters
+
+MIN_QUERY_RADIUS = 0.05  # miles; keeps normal-sampled radii positive
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """A generated population and query set."""
+
+    params: SimulationParameters
+    objects: tuple[MovingObject, ...]
+    query_specs: tuple[QuerySpec, ...]
+
+
+def generate_objects(params: SimulationParameters, rng: SimulationRng) -> list[MovingObject]:
+    """The object population of Table 1."""
+    uod = params.uod
+    objects: list[MovingObject] = []
+    for oid in range(params.num_objects):
+        pos = Point(rng.uniform(uod.lx, uod.ux), rng.uniform(uod.ly, uod.uy))
+        max_speed = rng.zipf_choice(params.max_speeds, params.speed_zipf_exponent)
+        vel = Vector.from_polar(rng.direction(), rng.uniform(0.0, max_speed))
+        objects.append(
+            MovingObject(
+                oid=oid,
+                pos=pos,
+                vel=vel,
+                max_speed=max_speed,
+                props={CLASS_PROPERTY: rng.randint(0, CLASS_SPACE - 1)},
+            )
+        )
+    return objects
+
+
+def generate_queries(
+    params: SimulationParameters,
+    rng: SimulationRng,
+    focal_skew: float | None = None,
+) -> list[QuerySpec]:
+    """Query specs over an (implied) object population of Table 1 size.
+
+    Args:
+        focal_skew: ``None`` draws focal objects uniformly without
+            replacement (every query has a distinct focal object, the
+            paper's default).  A float draws them *with* replacement from a
+            zipf(focal_skew) over object ids, producing the skewed
+            query-per-focal distribution the grouping optimization targets.
+    """
+    query_filter = filter_for_selectivity(params.query_selectivity)
+    if focal_skew is None:
+        focal_ids = rng.sample(range(params.num_objects), params.num_queries)
+    else:
+        weights = zipf_weights(params.num_objects, focal_skew)
+        ids = list(range(params.num_objects))
+        focal_ids = [rng.weighted_choice(ids, weights) for _ in range(params.num_queries)]
+    specs: list[QuerySpec] = []
+    for oid in focal_ids:
+        mean = rng.zipf_choice(params.radius_means, params.radius_zipf_exponent)
+        radius = rng.truncated_gauss(
+            mean, mean * params.radius_sigma_fraction, lo=MIN_QUERY_RADIUS
+        )
+        radius *= params.radius_factor
+        specs.append(QuerySpec(oid=oid, region=Circle(0.0, 0.0, radius), filter=query_filter))
+    return specs
+
+
+def generate_workload(
+    params: SimulationParameters,
+    rng: SimulationRng | None = None,
+    focal_skew: float | None = None,
+) -> Workload:
+    """Objects plus query specs from one seeded stream."""
+    rng = rng if rng is not None else SimulationRng(params.seed)
+    objects = generate_objects(params, rng)
+    specs = generate_queries(params, rng, focal_skew=focal_skew)
+    return Workload(params=params, objects=tuple(objects), query_specs=tuple(specs))

@@ -1,0 +1,70 @@
+"""Shared fixtures and world-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MobiEyesConfig, MobiEyesSystem, PropagationMode, QuerySpec, TrueFilter
+from repro.geometry import Circle, Point, Rect, Vector
+from repro.mobility import MovingObject
+from repro.sim import SimulationRng
+
+
+def make_object(oid, x, y, vx=0.0, vy=0.0, max_speed=100.0, props=None):
+    return MovingObject(
+        oid=oid,
+        pos=Point(float(x), float(y)),
+        vel=Vector(float(vx), float(vy)),
+        max_speed=max_speed,
+        props=props or {},
+    )
+
+
+def make_system(
+    objects,
+    uod=Rect(0, 0, 50, 50),
+    alpha=5.0,
+    bs_side=10.0,
+    propagation=PropagationMode.EAGER,
+    velocity_changes_per_step=0,
+    seed=7,
+    loss=None,
+    motion=None,
+    **config_kwargs,
+):
+    config = MobiEyesConfig(
+        uod=uod,
+        alpha=alpha,
+        base_station_side=bs_side,
+        propagation=propagation,
+        **config_kwargs,
+    )
+    return MobiEyesSystem(
+        config,
+        objects,
+        SimulationRng(seed),
+        velocity_changes_per_step=velocity_changes_per_step,
+        track_accuracy=True,
+        loss=loss,
+        motion=motion,
+    )
+
+
+def circle_query(oid, radius, query_filter=None):
+    return QuerySpec(
+        oid=oid, region=Circle(0, 0, radius), filter=query_filter or TrueFilter()
+    )
+
+
+@pytest.fixture
+def small_world():
+    """A deterministic five-object world: a focal object in the middle and
+    targets at known distances."""
+    objects = [
+        make_object(0, 25, 25),          # focal candidate
+        make_object(1, 26, 25),          # 1 mile east (inside r=2)
+        make_object(2, 25, 28),          # 3 miles north (outside r=2)
+        make_object(3, 45, 45),          # far away
+        make_object(4, 24, 24),          # sqrt(2) away (inside r=2)
+    ]
+    return make_system(objects)

@@ -1,0 +1,60 @@
+"""Tests for the analytical expected-LQT-size model."""
+
+import pytest
+
+from repro.analysis import LqtSizeModel
+from repro.experiments.runner import run_mobieyes, with_queries
+from repro.workload import paper_defaults
+
+
+@pytest.fixture
+def model():
+    return LqtSizeModel.from_params(paper_defaults())
+
+
+class TestClosedForm:
+    def test_linear_in_queries(self, model):
+        assert model.expected_lqt_size(5.0, 1000) == pytest.approx(
+            10 * model.expected_lqt_size(5.0, 100)
+        )
+
+    def test_grows_superlinearly_in_alpha(self, model):
+        small = model.expected_lqt_size(2.0)
+        mid = model.expected_lqt_size(4.0)
+        large = model.expected_lqt_size(8.0)
+        assert large - mid > mid - small  # convex growth (Fig. 10)
+
+    def test_fraction_capped_at_one(self, model):
+        # A monitoring region larger than the universe covers everyone.
+        huge = model.expected_lqt_size(10_000.0)
+        assert huge == pytest.approx(model.num_queries * model.selectivity)
+
+    def test_paper_defaults_stay_small(self, model):
+        # The paper observes LQT sizes below ~10 at the default setup.
+        assert model.expected_lqt_size(5.0) < 10.0
+
+    def test_invalid_alpha(self, model):
+        with pytest.raises(ValueError):
+            model.monitoring_footprint_area(0.0)
+
+    def test_radius_grows_footprint(self):
+        from dataclasses import replace
+
+        base = LqtSizeModel.from_params(paper_defaults())
+        bigger = LqtSizeModel.from_params(replace(paper_defaults(), radius_factor=2.0))
+        assert bigger.expected_lqt_size(5.0) > base.expected_lqt_size(5.0)
+
+
+class TestAgainstSimulation:
+    def test_matches_simulated_lqt_within_factor(self):
+        params = paper_defaults().scaled(0.02)
+        model = LqtSizeModel.from_params(params)
+        for alpha in (2.5, 5.0, 10.0):
+            system = run_mobieyes(
+                with_queries(params, params.num_queries), steps=10, warmup=2, alpha=alpha
+            )
+            simulated = system.metrics.mean_lqt_size()
+            predicted = model.expected_lqt_size(alpha)
+            assert predicted / 2.5 <= simulated <= predicted * 2.5, (
+                f"alpha={alpha}: model {predicted:.2f} vs simulated {simulated:.2f}"
+            )

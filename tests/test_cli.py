@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig01", "fig13", "ablation-loss", "analysis-alpha"):
+            assert exp_id in out
+
+
+class TestParams:
+    def test_paper_defaults(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "10000" in out  # no
+        assert "1000" in out  # nmq
+
+    def test_scaled(self, capsys):
+        assert main(["params", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "100" in out
+
+
+class TestRun:
+    def test_single_experiment(self, capsys):
+        assert main(["run", "fig12", "--scale", "0.01", "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig12]" in out
+        assert "radius-factor" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+
+class TestSimulate:
+    def test_basic_simulation(self, capsys):
+        code = main(
+            ["simulate", "--objects", "100", "--queries", "10", "--steps", "6", "--accuracy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "messages/s" in out
+        assert "mean LQT size" in out
+
+    def test_lazy_flag(self, capsys):
+        code = main(["simulate", "--objects", "100", "--steps", "4", "--lazy"])
+        assert code == 0
+        assert "lazy" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_prog_name(self):
+        assert build_parser().prog == "repro"

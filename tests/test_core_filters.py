@@ -1,0 +1,92 @@
+"""Tests for filter combinators and their end-to-end behaviour."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    AndFilter,
+    NotFilter,
+    OrFilter,
+    PropertyEqualsFilter,
+    QuerySpec,
+    TrueFilter,
+)
+from repro.geometry import Circle
+from repro.workload import ClassThresholdFilter
+
+from tests.conftest import make_object, make_system
+
+
+class TestCombinators:
+    def test_property_equals(self):
+        f = PropertyEqualsFilter("role", "taxi")
+        assert f.matches({"role": "taxi"})
+        assert not f.matches({"role": "bus"})
+        assert not f.matches({})
+
+    def test_and(self):
+        f = AndFilter((PropertyEqualsFilter("a", 1), PropertyEqualsFilter("b", 2)))
+        assert f.matches({"a": 1, "b": 2})
+        assert not f.matches({"a": 1, "b": 3})
+
+    def test_or(self):
+        f = OrFilter((PropertyEqualsFilter("a", 1), PropertyEqualsFilter("b", 2)))
+        assert f.matches({"a": 1})
+        assert f.matches({"b": 2})
+        assert not f.matches({"a": 0, "b": 0})
+
+    def test_not(self):
+        f = NotFilter(PropertyEqualsFilter("a", 1))
+        assert f.matches({"a": 2})
+        assert not f.matches({"a": 1})
+
+    def test_empty_and_is_true(self):
+        assert AndFilter(()).matches({})
+
+    def test_empty_or_is_false(self):
+        assert not OrFilter(()).matches({})
+
+    def test_nested_composition(self):
+        f = AndFilter(
+            (
+                OrFilter((PropertyEqualsFilter("kind", "car"), PropertyEqualsFilter("kind", "van"))),
+                NotFilter(PropertyEqualsFilter("out_of_service", True)),
+            )
+        )
+        assert f.matches({"kind": "van"})
+        assert not f.matches({"kind": "van", "out_of_service": True})
+        assert not f.matches({"kind": "bike"})
+
+    @given(st.dictionaries(st.text(max_size=3), st.integers(), max_size=4))
+    def test_de_morgan(self, props):
+        a = PropertyEqualsFilter("x", 1)
+        b = PropertyEqualsFilter("y", 2)
+        lhs = NotFilter(AndFilter((a, b))).matches(props)
+        rhs = OrFilter((NotFilter(a), NotFilter(b))).matches(props)
+        assert lhs == rhs
+
+    @given(st.dictionaries(st.text(max_size=3), st.integers(), max_size=4))
+    def test_double_negation(self, props):
+        f = ClassThresholdFilter(50)
+        assert NotFilter(NotFilter(f)).matches(props) == f.matches(props)
+
+
+class TestFiltersEndToEnd:
+    def test_composite_filter_restricts_result(self):
+        objects = [
+            make_object(0, 25, 25),
+            make_object(1, 26, 25, props={"kind": "car", "fuel": "ev"}),
+            make_object(2, 24, 25, props={"kind": "car", "fuel": "gas"}),
+            make_object(3, 25, 26, props={"kind": "van", "fuel": "ev"}),
+        ]
+        system = make_system(objects)
+        ev_cars = AndFilter(
+            (PropertyEqualsFilter("kind", "car"), PropertyEqualsFilter("fuel", "ev"))
+        )
+        qid = system.install_query(QuerySpec(oid=0, region=Circle(0, 0, 3.0), filter=ev_cars))
+        unfiltered = system.install_query(
+            QuerySpec(oid=0, region=Circle(0, 0, 3.0), filter=TrueFilter())
+        )
+        system.step()
+        assert system.result(qid) == frozenset({1})
+        assert system.result(unfiltered) == frozenset({1, 2, 3})
+        assert system.results() == system.oracle_results()

@@ -1,0 +1,118 @@
+"""Tests for protocol message types and size accounting."""
+
+from repro.core.messages import (
+    BITS_HEADER,
+    BITS_MOTION_STATE,
+    BITS_OID,
+    BITS_QID,
+    CellChangeReport,
+    FocalRoleNotification,
+    MotionStateRequest,
+    MotionStateResponse,
+    QueryDescriptor,
+    QueryInstallBroadcast,
+    QueryInstallList,
+    QueryRemoveBroadcast,
+    QueryUpdateBroadcast,
+    ResultChangeReport,
+    VelocityChangeBroadcast,
+    VelocityChangeReport,
+)
+from repro.core.query import TrueFilter
+from repro.geometry import Circle, Point, Vector
+from repro.grid import CellRange
+from repro.mobility import MotionState
+
+
+def state():
+    return MotionState(pos=Point(1, 2), vel=Vector(3, 4), recorded_at=0.5)
+
+
+def descriptor(qid=1):
+    return QueryDescriptor(
+        qid=qid,
+        oid=2,
+        region=Circle(0, 0, 3.0),
+        filter=TrueFilter(),
+        focal_state=state(),
+        focal_max_speed=100.0,
+        mon_region=CellRange(0, 2, 0, 2),
+    )
+
+
+class TestUplinkSizes:
+    def test_velocity_report(self):
+        msg = VelocityChangeReport(oid=1, state=state())
+        assert msg.bits == BITS_HEADER + BITS_OID + BITS_MOTION_STATE
+
+    def test_cell_change_without_state(self):
+        plain = CellChangeReport(oid=1, prev_cell=(0, 0), new_cell=(0, 1))
+        with_state = CellChangeReport(oid=1, prev_cell=(0, 0), new_cell=(0, 1), state=state())
+        assert with_state.bits == plain.bits + BITS_MOTION_STATE
+
+    def test_result_change_bitmap_grows_by_bytes(self):
+        one = ResultChangeReport(oid=1, changes={1: True})
+        eight = ResultChangeReport(oid=1, changes={i: True for i in range(8)})
+        nine = ResultChangeReport(oid=1, changes={i: True for i in range(9)})
+        assert one.bits == eight.bits  # one bitmap byte covers 8 queries
+        assert nine.bits == eight.bits + 8
+
+    def test_grouped_report_cheaper_than_individual(self):
+        grouped = ResultChangeReport(oid=1, changes={i: True for i in range(5)})
+        individual = sum(ResultChangeReport(oid=1, changes={i: True}).bits for i in range(5))
+        assert grouped.bits < individual
+
+    def test_motion_state_response(self):
+        msg = MotionStateResponse(oid=1, state=state(), max_speed=100.0)
+        assert msg.bits > BITS_HEADER + BITS_OID + BITS_MOTION_STATE
+
+
+class TestDownlinkSizes:
+    def test_install_broadcast_scales_with_queries(self):
+        one = QueryInstallBroadcast(queries=(descriptor(1),))
+        two = QueryInstallBroadcast(queries=(descriptor(1), descriptor(2)))
+        assert two.bits == one.bits + descriptor(2).bits
+
+    def test_grouped_install_cheaper_than_separate(self):
+        grouped = QueryInstallBroadcast(queries=(descriptor(1), descriptor(2)))
+        separate = (
+            QueryInstallBroadcast(queries=(descriptor(1),)).bits
+            + QueryInstallBroadcast(queries=(descriptor(2),)).bits
+        )
+        assert grouped.bits < separate
+
+    def test_update_broadcast(self):
+        msg = QueryUpdateBroadcast(queries=(descriptor(),))
+        assert msg.bits == BITS_HEADER + descriptor().bits
+
+    def test_remove_broadcast(self):
+        assert (
+            QueryRemoveBroadcast(qids=(1, 2)).bits
+            == BITS_HEADER + 2 * BITS_QID
+        )
+
+    def test_velocity_broadcast_lazy_expansion_costs_more(self):
+        eager = VelocityChangeBroadcast(oid=1, state=state(), qids=(1,))
+        lazy = VelocityChangeBroadcast(
+            oid=1, state=state(), qids=(1,), descriptors=(descriptor(),)
+        )
+        assert lazy.bits == eager.bits + descriptor().bits
+
+    def test_focal_notification_small(self):
+        assert FocalRoleNotification(oid=1, has_mq=True).bits < 200
+
+    def test_install_list(self):
+        msg = QueryInstallList(oid=1, queries=(descriptor(),))
+        assert msg.bits == BITS_HEADER + BITS_OID + descriptor().bits
+
+    def test_state_request_minimal(self):
+        assert MotionStateRequest(oid=1).bits == BITS_HEADER + BITS_OID
+
+
+class TestImmutability:
+    def test_messages_are_frozen(self):
+        import pytest
+
+        msg = MotionStateRequest(oid=1)
+        with pytest.raises(AttributeError):
+            msg.oid = 2  # type: ignore[misc]

@@ -1,0 +1,72 @@
+"""Tests for the moving-query model and filters."""
+
+import pytest
+
+from repro.core import MovingQuery, QuerySpec, TrueFilter
+from repro.geometry import Circle, Point
+from repro.workload import ClassThresholdFilter, filter_for_selectivity
+
+
+class TestMovingQuery:
+    def make(self, r=2.0):
+        return MovingQuery(qid=1, oid=7, region=Circle(0, 0, r), filter=TrueFilter())
+
+    def test_region_must_be_relative(self):
+        with pytest.raises(ValueError):
+            MovingQuery(qid=1, oid=7, region=Circle(3, 0, 2), filter=TrueFilter())
+
+    def test_radius(self):
+        assert self.make(r=2.5).radius == 2.5
+
+    def test_region_at_recenters(self):
+        q = self.make()
+        assert q.region_at(Point(10, 20)) == Circle(10, 20, 2.0)
+
+    def test_covers(self):
+        q = self.make(r=2.0)
+        assert q.covers(Point(0, 0), Point(1.5, 0))
+        assert q.covers(Point(0, 0), Point(2.0, 0))  # boundary
+        assert not q.covers(Point(0, 0), Point(2.1, 0))
+
+    def test_covers_moves_with_focal(self):
+        q = self.make(r=2.0)
+        assert q.covers(Point(100, 100), Point(101, 100))
+        assert not q.covers(Point(100, 100), Point(1, 0))
+
+    def test_spec_with_qid(self):
+        spec = QuerySpec(oid=3, region=Circle(0, 0, 1.0))
+        q = spec.with_qid(9)
+        assert (q.qid, q.oid, q.radius) == (9, 3, 1.0)
+        assert isinstance(q.filter, TrueFilter)
+
+
+class TestFilters:
+    def test_true_filter_matches_anything(self):
+        assert TrueFilter().matches({})
+        assert TrueFilter().matches({"any": "thing"})
+
+    def test_class_threshold(self):
+        f = ClassThresholdFilter(threshold=75)
+        assert f.matches({"class": 0})
+        assert f.matches({"class": 74})
+        assert not f.matches({"class": 75})
+        assert not f.matches({"class": 99})
+
+    def test_missing_class_property_fails(self):
+        assert not ClassThresholdFilter().matches({})
+
+    def test_selectivity_property(self):
+        assert ClassThresholdFilter(threshold=75).selectivity == 0.75
+
+    def test_filter_for_selectivity(self):
+        assert filter_for_selectivity(0.75).threshold == 75
+        assert filter_for_selectivity(0.0).threshold == 0
+        assert filter_for_selectivity(1.0).threshold == 100
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            filter_for_selectivity(1.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ClassThresholdFilter(threshold=101)

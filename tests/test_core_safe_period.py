@@ -1,0 +1,61 @@
+"""Tests for the safe-period computation (paper Section 4.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import safe_period_hours
+
+speeds = st.floats(min_value=0.0, max_value=300.0, allow_nan=False)
+distances = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+radii = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestSafePeriodUnit:
+    def test_paper_formula(self):
+        # sp = (dist - r) / (maxVel_i + maxVel_j)
+        assert safe_period_hours(100.0, 10.0, 50.0, 40.0) == pytest.approx(1.0)
+
+    def test_inside_region_zero(self):
+        assert safe_period_hours(5.0, 10.0, 50.0, 50.0) == 0.0
+
+    def test_on_boundary_zero(self):
+        assert safe_period_hours(10.0, 10.0, 50.0, 50.0) == 0.0
+
+    def test_both_static_never_entered(self):
+        assert safe_period_hours(100.0, 10.0, 0.0, 0.0) == math.inf
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            safe_period_hours(-1.0, 0.0, 1.0, 1.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            safe_period_hours(1.0, 0.0, -1.0, 1.0)
+
+
+class TestSafePeriodProperty:
+    @given(distances, radii, speeds, speeds, times)
+    def test_never_skips_a_true_positive(self, dist, r, v1, v2, t):
+        """Soundness: within the safe period the object cannot be inside
+        the query region, however both objects move (worst case: closing at
+        max speeds).  The closest possible approach after time t is
+        dist - (v1 + v2) * t; it must still exceed r for any t < sp."""
+        sp = safe_period_hours(dist, r, v1, v2)
+        if sp == 0.0 or math.isinf(sp):
+            return
+        t = min(t, sp * 0.999999)  # strictly inside the safe period
+        closest_possible = dist - (v1 + v2) * t
+        assert closest_possible >= r - 1e-6
+
+    @given(distances, radii, speeds, speeds)
+    def test_nonnegative(self, dist, r, v1, v2):
+        assert safe_period_hours(dist, r, v1, v2) >= 0.0
+
+    @given(distances, radii, speeds, speeds)
+    def test_monotone_in_distance(self, dist, r, v1, v2):
+        sp1 = safe_period_hours(dist, r, v1, v2)
+        sp2 = safe_period_hours(dist + 10.0, r, v1, v2)
+        assert sp2 >= sp1

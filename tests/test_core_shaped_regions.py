@@ -1,0 +1,108 @@
+"""Tests for non-circular query regions.
+
+The paper allows "any closed shape description which has a computationally
+cheap point containment check", bound to the focal object through a binding
+point; these tests exercise rectangular regions end to end.
+"""
+
+import pytest
+
+from repro.core import MovingQuery, QuerySpec, TrueFilter
+from repro.geometry import Circle, Point, Rect
+from repro.grid import region_reach
+
+from tests.conftest import make_object, make_system
+
+
+def rect_query(oid, rect):
+    return QuerySpec(oid=oid, region=rect, filter=TrueFilter())
+
+
+class TestShapedQueryModel:
+    def test_rect_region_accepted(self):
+        q = MovingQuery(qid=1, oid=0, region=Rect(-2, -1, 4, 2), filter=TrueFilter())
+        assert q.reach == pytest.approx(5**0.5)  # farthest corner (2, 1)
+
+    def test_offcenter_circle_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(oid=0, region=Circle(1, 0, 2))
+
+    def test_radius_only_for_circles(self):
+        q = MovingQuery(qid=1, oid=0, region=Rect(-1, -1, 2, 2), filter=TrueFilter())
+        with pytest.raises(TypeError):
+            _ = q.radius
+
+    def test_region_at_translates(self):
+        q = MovingQuery(qid=1, oid=0, region=Rect(-2, -1, 4, 2), filter=TrueFilter())
+        moved = q.region_at(Point(10, 20))
+        assert moved == Rect(8, 19, 4, 2)
+
+    def test_covers_rect_semantics(self):
+        q = MovingQuery(qid=1, oid=0, region=Rect(-2, -1, 4, 2), filter=TrueFilter())
+        assert q.covers(Point(10, 20), Point(11.9, 20.9))
+        assert not q.covers(Point(10, 20), Point(12.1, 20))
+
+    def test_asymmetric_rect_reach(self):
+        # Binding point at the origin; the farthest corner is (5, 1).
+        assert region_reach(Rect(-1, -1, 6, 2)) == pytest.approx(26**0.5)
+
+    def test_offcenter_circle_reach_includes_offset(self):
+        assert region_reach(Circle(3, 4, 2)) == 7.0  # |(3,4)| + r
+
+
+class TestShapedQueriesEndToEnd:
+    def build(self):
+        objects = [
+            make_object(0, 25, 25),   # focal
+            make_object(1, 27, 25),   # 2 east: inside a 3-wide east arm
+            make_object(2, 25, 27),   # 2 north: outside a flat rect
+            make_object(3, 22, 25),   # 3 west
+        ]
+        return make_system(objects)
+
+    def test_rect_region_results_match_oracle(self):
+        system = self.build()
+        # A wide, flat corridor: 3 miles east/west, 1 mile north/south.
+        qid = system.install_query(rect_query(0, Rect(-3, -1, 6, 2)))
+        system.step()
+        assert system.result(qid) == system.oracle_results()[qid]
+        assert system.result(qid) == frozenset({1, 3})
+
+    def test_rect_region_tracks_motion(self):
+        system = self.build()
+        qid = system.install_query(rect_query(0, Rect(-3, -1, 6, 2)))
+        system.step()
+        # March the focal object north; the corridor follows it.
+        from repro.geometry import Vector
+
+        system.client(0).obj.vel = Vector(0.0, 120.0)  # 1 mile/step
+        for _ in range(4):
+            system.step()
+            assert system.result(qid) == system.oracle_results()[qid]
+
+    def test_mixed_shapes_on_one_focal(self):
+        system = self.build()
+        q_rect = system.install_query(rect_query(0, Rect(-3, -1, 6, 2)))
+        q_circle = system.install_query(QuerySpec(oid=0, region=Circle(0, 0, 2.5)))
+        system.step()
+        oracle = system.oracle_results()
+        assert system.result(q_rect) == oracle[q_rect]
+        assert system.result(q_circle) == oracle[q_circle]
+
+    @pytest.mark.parametrize("grouping", [False, True])
+    @pytest.mark.parametrize("safe_period", [False, True])
+    def test_rect_regions_with_optimizations(self, grouping, safe_period):
+        objects = [
+            make_object(0, 25, 25),
+            make_object(1, 27, 25, vx=30.0),
+            make_object(2, 25, 27, vy=-20.0),
+            make_object(3, 22, 25, vx=10.0, vy=10.0),
+        ]
+        system = make_system(objects, grouping=grouping, safe_period=safe_period)
+        q_rect = system.install_query(rect_query(0, Rect(-3, -1, 6, 2)))
+        q_circle = system.install_query(QuerySpec(oid=0, region=Circle(0, 0, 2.0)))
+        for _ in range(5):
+            system.step()
+            oracle = system.oracle_results()
+            assert system.result(q_rect) == oracle[q_rect]
+            assert system.result(q_circle) == oracle[q_circle]

@@ -1,0 +1,87 @@
+"""Tests for result-change subscriptions (observer callbacks)."""
+
+import pytest
+
+from repro.geometry import Point, Vector
+
+from tests.conftest import circle_query, make_object, make_system
+
+
+class TestSubscriptions:
+    def build(self):
+        objects = [
+            make_object(0, 25, 25),
+            make_object(1, 26, 25),          # starts inside r=2
+            make_object(2, 25, 29, vy=-60.0),  # enters later from the north
+        ]
+        system = make_system(objects)
+        qid = system.install_query(circle_query(0, 2.0))
+        return system, qid
+
+    def test_enter_events_fire(self):
+        system, qid = self.build()
+        events = []
+        system.subscribe(qid, lambda q, oid, entered: events.append((q, oid, entered)))
+        system.step()
+        assert (qid, 1, True) in events
+
+    def test_leave_events_fire(self):
+        system, qid = self.build()
+        system.step()
+        events = []
+        system.subscribe(qid, lambda q, oid, entered: events.append((oid, entered)))
+        system.client(1).obj.pos = Point(35.0, 25.0)  # jump out of the region
+        system.step()
+        assert (1, False) in events
+
+    def test_events_track_progressive_entry(self):
+        system, qid = self.build()
+        events = []
+        system.subscribe(qid, lambda q, oid, entered: events.append((oid, entered)))
+        for _ in range(8):
+            system.step()
+        # Object 2 marches south at 0.5 mi/step from 4 miles away: enters
+        # the r=2 region after ~4 steps.
+        assert (2, True) in events
+
+    def test_unsubscribe_stops_events(self):
+        system, qid = self.build()
+        events = []
+        callback = lambda q, oid, entered: events.append(oid)  # noqa: E731
+        system.subscribe(qid, callback)
+        system.unsubscribe(qid, callback)
+        system.step()
+        assert events == []
+
+    def test_subscribe_unknown_query_raises(self):
+        system, _qid = self.build()
+        with pytest.raises(KeyError):
+            system.subscribe(999, lambda *a: None)
+
+    def test_no_duplicate_events_for_unchanged_state(self):
+        system, qid = self.build()
+        events = []
+        system.subscribe(qid, lambda q, oid, entered: events.append(oid))
+        system.step()  # object 1 enters
+        count_after_first = len(events)
+        system.step()  # nothing changes
+        system.step()
+        assert len(events) == count_after_first
+
+    def test_removal_drops_subscribers(self):
+        system, qid = self.build()
+        events = []
+        system.subscribe(qid, lambda q, oid, entered: events.append(oid))
+        system.remove_query(qid)
+        system.step()
+        assert events == []
+
+    def test_callbacks_excluded_from_server_load_ops(self):
+        # A slow callback must not inflate the measured protocol time in a
+        # way that depends on application work: ops counting is unaffected.
+        system, qid = self.build()
+        system.subscribe(qid, lambda q, oid, entered: sum(range(10_000)))
+        system.step()
+        # The op count is deterministic protocol work only.
+        ops = system.metrics.steps[-1].server_ops
+        assert ops < 10_000

@@ -1,0 +1,183 @@
+"""Tests for the FOT / SQT / RQI / LQT tables."""
+
+import pytest
+
+from repro.core import (
+    FocalObjectTable,
+    LocalQueryTable,
+    LqtEntry,
+    ReverseQueryIndex,
+    ServerQueryTable,
+    SqtEntry,
+    TrueFilter,
+)
+from repro.geometry import Circle, Point, Vector
+from repro.grid import CellRange
+from repro.mobility import MotionState
+
+
+def state(x=0.0, y=0.0):
+    return MotionState(pos=Point(x, y), vel=Vector(0, 0), recorded_at=0.0)
+
+
+def sqt_entry(qid=1, oid=10, r=2.0, region=None):
+    return SqtEntry(
+        qid=qid,
+        oid=oid,
+        region=Circle(0, 0, r),
+        filter=TrueFilter(),
+        curr_cell=(0, 0),
+        mon_region=region or CellRange(0, 1, 0, 1),
+    )
+
+
+def lqt_entry(qid=1, oid=10, r=2.0):
+    return LqtEntry(
+        qid=qid,
+        oid=oid,
+        region=Circle(0, 0, r),
+        filter=TrueFilter(),
+        focal_state=state(),
+        focal_max_speed=100.0,
+        mon_region=CellRange(0, 1, 0, 1),
+    )
+
+
+class TestFocalObjectTable:
+    def test_upsert_and_get(self):
+        fot = FocalObjectTable()
+        fot.upsert(1, state(1, 1), max_speed=50.0)
+        assert 1 in fot
+        assert fot.get(1).state.pos == Point(1, 1)
+        assert len(fot) == 1
+
+    def test_upsert_updates_existing(self):
+        fot = FocalObjectTable()
+        fot.upsert(1, state(1, 1), 50.0)
+        fot.upsert(1, state(2, 2), 60.0)
+        assert fot.get(1).state.pos == Point(2, 2)
+        assert fot.get(1).max_speed == 60.0
+        assert len(fot) == 1
+
+    def test_update_state(self):
+        fot = FocalObjectTable()
+        fot.upsert(1, state(1, 1), 50.0)
+        fot.update_state(1, state(3, 3))
+        assert fot.get(1).state.pos == Point(3, 3)
+
+    def test_remove(self):
+        fot = FocalObjectTable()
+        fot.upsert(1, state(), 50.0)
+        fot.remove(1)
+        assert 1 not in fot
+
+
+class TestServerQueryTable:
+    def test_add_and_get(self):
+        sqt = ServerQueryTable()
+        sqt.add(sqt_entry(qid=1))
+        assert 1 in sqt
+        assert sqt.get(1).oid == 10
+
+    def test_duplicate_qid_rejected(self):
+        sqt = ServerQueryTable()
+        sqt.add(sqt_entry(qid=1))
+        with pytest.raises(ValueError):
+            sqt.add(sqt_entry(qid=1))
+
+    def test_queries_of_focal_sorted(self):
+        sqt = ServerQueryTable()
+        sqt.add(sqt_entry(qid=3, oid=10))
+        sqt.add(sqt_entry(qid=1, oid=10))
+        sqt.add(sqt_entry(qid=2, oid=20))
+        assert [e.qid for e in sqt.queries_of_focal(10)] == [1, 3]
+
+    def test_is_focal(self):
+        sqt = ServerQueryTable()
+        sqt.add(sqt_entry(qid=1, oid=10))
+        assert sqt.is_focal(10)
+        assert not sqt.is_focal(11)
+
+    def test_remove_clears_focal_when_last(self):
+        sqt = ServerQueryTable()
+        sqt.add(sqt_entry(qid=1, oid=10))
+        sqt.add(sqt_entry(qid=2, oid=10))
+        sqt.remove(1)
+        assert sqt.is_focal(10)
+        sqt.remove(2)
+        assert not sqt.is_focal(10)
+        assert len(sqt) == 0
+
+
+class TestReverseQueryIndex:
+    def test_add_registers_all_cells(self):
+        rqi = ReverseQueryIndex()
+        rqi.add(1, CellRange(0, 1, 0, 1))
+        for cell in CellRange(0, 1, 0, 1):
+            assert 1 in rqi.queries_at(cell)
+
+    def test_queries_at_empty_cell(self):
+        assert ReverseQueryIndex().queries_at((5, 5)) == frozenset()
+
+    def test_remove(self):
+        rqi = ReverseQueryIndex()
+        rqi.add(1, CellRange(0, 1, 0, 1))
+        rqi.remove(1, CellRange(0, 1, 0, 1))
+        assert rqi.queries_at((0, 0)) == frozenset()
+        assert list(rqi.nonempty_cells()) == []
+
+    def test_move(self):
+        rqi = ReverseQueryIndex()
+        rqi.add(1, CellRange(0, 0, 0, 0))
+        rqi.move(1, CellRange(0, 0, 0, 0), CellRange(3, 3, 3, 3))
+        assert rqi.queries_at((0, 0)) == frozenset()
+        assert rqi.queries_at((3, 3)) == frozenset({1})
+
+    def test_multiple_queries_per_cell(self):
+        rqi = ReverseQueryIndex()
+        rqi.add(1, CellRange(0, 0, 0, 0))
+        rqi.add(2, CellRange(0, 0, 0, 0))
+        assert rqi.queries_at((0, 0)) == frozenset({1, 2})
+
+
+class TestLocalQueryTable:
+    def test_install_and_lookup(self):
+        lqt = LocalQueryTable()
+        lqt.install(lqt_entry(qid=1))
+        assert 1 in lqt
+        assert lqt.get(1).oid == 10
+        assert len(lqt) == 1
+
+    def test_remove_returns_entry(self):
+        lqt = LocalQueryTable()
+        entry = lqt_entry(qid=1)
+        lqt.install(entry)
+        assert lqt.remove(1) is entry
+        assert lqt.remove(1) is None
+
+    def test_by_focal_groups_and_sorts_by_radius_desc(self):
+        lqt = LocalQueryTable()
+        lqt.install(lqt_entry(qid=1, oid=10, r=1.0))
+        lqt.install(lqt_entry(qid=2, oid=10, r=5.0))
+        lqt.install(lqt_entry(qid=3, oid=20, r=2.0))
+        groups = lqt.by_focal()
+        assert set(groups) == {10, 20}
+        assert [e.qid for e in groups[10]] == [2, 1]  # radius 5 before 1
+
+    def test_from_descriptor(self):
+        from repro.core.messages import QueryDescriptor
+
+        desc = QueryDescriptor(
+            qid=4,
+            oid=9,
+            region=Circle(0, 0, 1.5),
+            filter=TrueFilter(),
+            focal_state=state(2, 2),
+            focal_max_speed=80.0,
+            mon_region=CellRange(1, 2, 1, 2),
+        )
+        entry = LqtEntry.from_descriptor(desc)
+        assert entry.qid == 4
+        assert entry.focal_max_speed == 80.0
+        assert entry.is_target is False
+        assert entry.ptm == 0.0

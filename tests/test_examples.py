@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs end to end and produces the
+output its docstring promises."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "wireless messages/second" in out
+        assert "mean result error" in out
+        # The quickstart's distributed results match the oracle every step.
+        assert "NO" not in out.split("mean result error")[0]
+
+    def test_taxi_dispatch(self, capsys):
+        out = run_example("taxi_dispatch", capsys)
+        assert "customers-in-range" in out
+        assert "mean result error: 0.0" in out
+
+    def test_battlefield_monitoring(self, capsys):
+        out = run_example("battlefield_monitoring", capsys)
+        assert "eager" in out and "lazy" in out
+        assert "msgs/s" in out
+
+    def test_fleet_geofencing(self, capsys):
+        out = run_example("fleet_geofencing", capsys)
+        assert "grouping" in out
+        assert "stragglers" in out
+
+    def test_airport_geofence_alerts(self, capsys):
+        out = run_example("airport_geofence_alerts", capsys)
+        assert "total alerts" in out
+        assert "static queries need none" in out
+        assert "focal objects used: 0" in out

@@ -1,0 +1,90 @@
+"""Tests for the experiment harness: registry completeness and smoke runs."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    TITLES,
+    ExperimentResult,
+    all_experiment_ids,
+    default_params,
+    run_experiment,
+)
+
+TINY = dict(scale=0.01, steps=6, warmup=1)
+
+ALL_FIGURES = [f"fig{i:02d}" for i in range(1, 14)]
+ALL_ABLATIONS = ["ablation-delta", "ablation-grouping", "ablation-propagation"]
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        for exp_id in ALL_FIGURES:
+            assert exp_id in EXPERIMENTS, f"missing experiment for {exp_id}"
+
+    def test_ablations_registered(self):
+        for exp_id in ALL_ABLATIONS:
+            assert exp_id in EXPERIMENTS
+
+    def test_titles_for_all(self):
+        assert set(TITLES) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_all_experiment_ids(self):
+        assert set(all_experiment_ids()) == set(EXPERIMENTS)
+
+
+class TestDefaultParams:
+    def test_explicit_scale(self):
+        assert default_params(0.01).num_objects == 100
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        assert default_params().num_objects == 200
+
+
+class TestExperimentResult:
+    def test_table_renders(self):
+        result = ExperimentResult(
+            exp_id="x", title="T", headers=("a", "b"), rows=((1, 2),), notes="n"
+        )
+        text = result.table()
+        assert "[x] T" in text
+        assert "note: n" in text
+
+    def test_column_access(self):
+        result = ExperimentResult(
+            exp_id="x", title="T", headers=("a", "b"), rows=((1, 2), (3, 4))
+        )
+        assert result.column("b") == [2, 4]
+
+
+class TestSmokeRuns:
+    """Tiny-scale smoke runs of the cheap experiments; the full-scale runs
+    live in benchmarks/."""
+
+    @pytest.mark.parametrize("exp_id", ["fig02", "fig04", "fig08", "fig10", "fig11", "fig12"])
+    def test_mobieyes_only_experiments(self, exp_id):
+        result = run_experiment(exp_id, **TINY)
+        assert result.exp_id == exp_id
+        assert result.rows
+        assert all(len(row) == len(result.headers) for row in result.rows)
+
+    def test_fig13_structure(self):
+        result = run_experiment("fig13", **TINY)
+        evals_off = result.column("evals(off)")
+        evals_on = result.column("evals(on)")
+        assert all(on <= off for on, off in zip(evals_on, evals_off))
+
+    def test_ablation_propagation_lazy_cheaper(self):
+        result = run_experiment("ablation-propagation", **TINY)
+        eager_row, lazy_row = result.rows
+        assert lazy_row[1] <= eager_row[1]  # total msgs/s
+
+    def test_ablation_delta_monotone_messaging(self):
+        result = run_experiment("ablation-delta", scale=0.02, steps=8, warmup=2)
+        rates = result.column("msgs/s")
+        assert rates[-1] <= rates[0]  # larger delta => fewer messages

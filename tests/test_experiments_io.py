@@ -1,0 +1,94 @@
+"""Tests for experiment-result serialization."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.io import (
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        exp_id="fig42",
+        title="Answer vs everything",
+        headers=("x", "y", "z"),
+        rows=((1, 2.5, None), (2, 3.5, "ok")),
+        notes="shape: up and to the right",
+    )
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, result):
+        text = result_to_csv(result)
+        rows = list(
+            csv.reader(line for line in text.splitlines() if not line.startswith("#"))
+        )
+        assert rows[0] == ["x", "y", "z"]
+        assert rows[1] == ["1", "2.5", ""]
+        assert rows[2] == ["2", "3.5", "ok"]
+
+    def test_metadata_in_comments(self, result):
+        text = result_to_csv(result)
+        assert "# experiment: fig42" in text
+        assert "# notes: shape: up and to the right" in text
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        restored = result_from_json(result_to_json(result))
+        assert restored.exp_id == result.exp_id
+        assert restored.headers == result.headers
+        assert restored.rows == result.rows
+        assert restored.notes == result.notes
+
+    def test_json_is_valid(self, result):
+        import json
+
+        data = json.loads(result_to_json(result))
+        assert data["experiment"] == "fig42"
+        assert data["rows"][0] == [1, 2.5, None]
+
+
+class TestSave:
+    def test_save_csv(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.csv")
+        assert path.read_text().startswith("# experiment: fig42")
+
+    def test_save_json(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.json")
+        assert result_from_json(path.read_text()).exp_id == "fig42"
+
+    def test_unknown_suffix_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError):
+            save_result(result, tmp_path / "out.parquet")
+
+
+class TestCliSave:
+    def test_run_with_save_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["run", "fig12", "--scale", "0.01", "--steps", "4", "--save", str(tmp_path / "out")]
+        )
+        assert code == 0
+        saved = list((tmp_path / "out").glob("*.csv"))
+        assert len(saved) == 1
+        assert saved[0].name == "fig12.csv"
+
+    def test_run_with_save_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig12.json"
+        code = main(
+            ["run", "fig12", "--scale", "0.01", "--steps", "4", "--save", str(target)]
+        )
+        assert code == 0
+        assert target.exists()

@@ -1,0 +1,36 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import io
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import PAPER_EXPECTATIONS, write_report
+
+
+class TestExpectationsCoverage:
+    def test_every_experiment_has_a_paper_expectation(self):
+        missing = set(EXPERIMENTS) - set(PAPER_EXPECTATIONS)
+        assert not missing, f"experiments without paper expectations: {missing}"
+
+    def test_no_stale_expectations(self):
+        stale = set(PAPER_EXPECTATIONS) - set(EXPERIMENTS)
+        assert not stale, f"expectations for unknown experiments: {stale}"
+
+
+class TestReportGeneration:
+    def test_tiny_report_contains_every_section(self):
+        buffer = io.StringIO()
+        write_report(buffer, scale=0.005, steps=4, warmup=1)
+        text = buffer.getvalue()
+        assert text.startswith("# EXPERIMENTS")
+        for exp_id in EXPERIMENTS:
+            assert f"## {exp_id}:" in text, f"missing section for {exp_id}"
+        assert "Measurement setup" in text
+        assert "REPRO_SCALE" in text
+
+    def test_report_embeds_measured_tables(self):
+        buffer = io.StringIO()
+        write_report(buffer, scale=0.005, steps=4, warmup=1)
+        text = buffer.getvalue()
+        # Each section carries a fenced code block with a rendered table.
+        assert text.count("```") >= 2 * len(EXPERIMENTS)
+        assert "radius-factor" in text  # fig12's table header

@@ -1,0 +1,72 @@
+"""Tests for the shared experiment runner helpers."""
+
+import pytest
+
+from repro.core import PropagationMode
+from repro.experiments.runner import (
+    default_params,
+    run_centralized,
+    run_mobieyes,
+    sweep_fractions,
+    with_queries,
+)
+from repro.workload import paper_defaults
+
+
+class TestHelpers:
+    def test_sweep_fractions_scales_with_population(self):
+        params = paper_defaults().scaled(0.05)  # 500 objects
+        assert sweep_fractions(params, (0.01, 0.10)) == [5, 50]
+
+    def test_sweep_fractions_deduplicates(self):
+        params = paper_defaults().scaled(0.002)  # 20 objects
+        points = sweep_fractions(params, (0.01, 0.02, 0.04))
+        assert points == sorted(set(points))
+
+    def test_sweep_fractions_at_least_one(self):
+        params = paper_defaults().scaled(0.001)
+        assert all(p >= 1 for p in sweep_fractions(params, (0.0001,)))
+
+    def test_with_queries_caps_at_population(self):
+        params = paper_defaults().scaled(0.001)  # 10 objects
+        assert with_queries(params, 500).num_queries == 10
+
+    def test_default_params_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        assert default_params().num_objects == 300
+        assert default_params(0.01).num_objects == 100  # explicit wins
+
+
+class TestRunners:
+    def test_same_seed_same_workload_across_engines(self):
+        """MobiEyes and the centralized baseline see identical workloads, so
+        their steady-state results coincide."""
+        params = paper_defaults().scaled(0.008)
+        mobieyes = run_mobieyes(params, steps=8, warmup=2)
+        central = run_centralized(params, steps=8, warmup=2)
+        assert mobieyes.results() == central.results()
+
+    def test_seed_offset_changes_workload(self):
+        params = paper_defaults().scaled(0.008)
+        a = run_mobieyes(params, steps=4, warmup=1, seed_offset=0)
+        b = run_mobieyes(params, steps=4, warmup=1, seed_offset=17)
+        pos_a = [o.pos for o in a.motion.objects]
+        pos_b = [o.pos for o in b.motion.objects]
+        assert pos_a != pos_b
+
+    def test_run_mobieyes_propagation_option(self):
+        params = paper_defaults().scaled(0.008)
+        lazy = run_mobieyes(params, steps=6, warmup=1, propagation=PropagationMode.LAZY)
+        assert lazy.config.propagation is PropagationMode.LAZY
+
+    def test_warmup_recorded_in_metrics(self):
+        params = paper_defaults().scaled(0.008)
+        system = run_mobieyes(params, steps=6, warmup=3)
+        assert system.metrics.warmup_steps == 3
+        assert len(system.metrics.steps) == 6
+
+    def test_focal_skew_produces_groupable_queries(self):
+        params = paper_defaults().scaled(0.02)
+        system = run_mobieyes(params, steps=2, warmup=0, focal_skew=1.5)
+        focals = [e.oid for e in system.server.sqt.entries()]
+        assert len(set(focals)) < len(focals)

@@ -1,0 +1,120 @@
+"""Property-based tests for the geometry primitives."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Circle, Point, Rect, Vector
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+extents = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+radii = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    return Rect(draw(coords), draw(coords), draw(extents), draw(extents))
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def circles(draw):
+    return Circle(draw(coords), draw(coords), draw(radii))
+
+
+class TestVectorProperties:
+    @given(points(), points())
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points())
+    def test_distance_to_self_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points(), points())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(points())
+    def test_norm_squared_consistent(self, v):
+        assert math.isclose(v.norm() ** 2, v.norm_squared(), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersects_symmetry(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects(), rects())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert not a.intersects(b)
+        else:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), points())
+    def test_clamp_is_contained_and_distance_consistent(self, r, p):
+        clamped = r.clamp(p)
+        assert r.contains(clamped)
+        assert math.isclose(
+            r.distance_to_point(p), p.distance_to(clamped), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(rects(), points())
+    def test_contains_implies_zero_distance(self, r, p):
+        if r.contains(p):
+            assert r.distance_to_point(p) == 0.0
+
+    @given(rects())
+    def test_corners_contained(self, r):
+        for corner in r.corners():
+            assert r.contains(corner)
+
+
+class TestCircleProperties:
+    @given(circles(), points())
+    def test_bounding_rect_covers_contained_points(self, c, p):
+        # contains() works in squared space and can underflow for denormal
+        # offsets, so allow an epsilon inflation of the bounding rect.
+        if c.contains(p):
+            assert c.bounding_rect().inflated(1e-12).contains(p)
+
+    @given(circles(), circles())
+    def test_circle_intersection_symmetry(self, a, b):
+        assert a.intersects_circle(b) == b.intersects_circle(a)
+
+    @given(circles(), rects())
+    def test_rect_intersection_consistent_with_distance(self, c, r):
+        expected = r.distance_to_point(c.center) <= c.r
+        assert c.intersects_rect(r) == expected
+
+    @given(circles(), points())
+    def test_containment_shift_invariant_away_from_boundary(self, c, p):
+        # Exact shift invariance does not hold in floating point near the
+        # boundary; require a safety margin proportional to the magnitudes.
+        margin = 1e-6 * max(1.0, abs(c.cx), abs(c.cy), abs(p.x), abs(p.y), c.r)
+        dist = c.center.distance_to(p)
+        if abs(dist - c.r) <= margin:
+            return
+        moved = c.translated(Vector(5.0, -3.0))
+        assert c.contains(p) == moved.contains(Point(p.x + 5.0, p.y - 3.0))

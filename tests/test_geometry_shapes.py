@@ -1,0 +1,174 @@
+"""Unit tests for rectangles and circles."""
+
+import math
+
+import pytest
+
+from repro.geometry import Circle, Point, Rect, Shape, Vector
+
+
+class TestRectConstruction:
+    def test_bounds_from_extents(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.lx, r.ly, r.ux, r.uy) == (1, 2, 4, 6)
+
+    def test_width_height(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.w, r.h) == (3, 4)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, -1)
+
+    def test_from_bounds(self):
+        r = Rect.from_bounds(1, 2, 4, 6)
+        assert r == Rect(1, 2, 3, 4)
+
+    def test_from_bounds_invalid(self):
+        with pytest.raises(ValueError):
+            Rect.from_bounds(4, 0, 1, 1)
+
+    def test_from_corners_any_order(self):
+        assert Rect.from_corners(4, 6, 1, 2) == Rect(1, 2, 3, 4)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert (r.lx, r.ly, r.ux, r.uy) == (3, 4, 7, 6)
+
+    def test_degenerate_point_rect(self):
+        r = Rect(2, 3, 0, 0)
+        assert r.area == 0
+        assert r.contains(Point(2, 3))
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_area_and_perimeter(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.area == 12
+        assert r.perimeter == 14
+
+
+class TestRectPredicates:
+    def test_contains_interior_point(self):
+        assert Rect(0, 0, 10, 10).contains(Point(5, 5))
+
+    def test_contains_boundary_point(self):
+        assert Rect(0, 0, 10, 10).contains(Point(10, 10))
+        assert Rect(0, 0, 10, 10).contains(Point(0, 0))
+
+    def test_excludes_outside_point(self):
+        assert not Rect(0, 0, 10, 10).contains(Point(10.001, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(9, 9, 2, 2))
+
+    def test_intersects_overlapping(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(3, 3, 5, 5))
+
+    def test_intersects_shared_edge(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 5, 5))
+
+    def test_disjoint_do_not_intersect(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(6, 0, 5, 5))
+
+    def test_intersection_geometry(self):
+        inter = Rect(0, 0, 5, 5).intersection(Rect(3, 2, 5, 5))
+        assert inter == Rect(3, 2, 2, 3)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 1, 1)) is None
+
+    def test_union_covers_both(self):
+        u = Rect(0, 0, 2, 2).union(Rect(5, 5, 1, 1))
+        assert u == Rect(0, 0, 6, 6)
+
+    def test_union_is_exact_with_floats(self):
+        # Regression: storing (lx, w) instead of bounds loses 1 ulp in
+        # union chains, enough to evict corner points from an R*-tree MBR.
+        a = Rect(0.1, 0.2, 0.0, 0.0)
+        b = Rect(62.52658292736323, 61.189708481414506, 0.0, 0.0)
+        u = a.union(b)
+        assert u.ux == b.lx
+        assert u.uy == b.ly
+        assert u.contains(Point(b.lx, b.ly))
+
+    def test_inflated(self):
+        assert Rect(2, 2, 2, 2).inflated(1) == Rect(1, 1, 4, 4)
+
+    def test_inflated_negative_past_zero_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).inflated(-1)
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(Vector(1, -1)) == Rect(1, -1, 2, 2)
+
+    def test_distance_to_point_inside_is_zero(self):
+        assert Rect(0, 0, 4, 4).distance_to_point(Point(2, 2)) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert Rect(0, 0, 4, 4).distance_to_point(Point(7, 8)) == 5.0
+
+    def test_clamp(self):
+        assert Rect(0, 0, 4, 4).clamp(Point(7, -2)) == Point(4, 0)
+
+    def test_corners_counter_clockwise(self):
+        corners = Rect(0, 0, 2, 3).corners()
+        assert corners == (Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3))
+
+    def test_bounding_rect_is_self(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.bounding_rect() is r
+
+
+class TestCircle:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, -1)
+
+    def test_contains_center_and_boundary(self):
+        c = Circle(0, 0, 5)
+        assert c.contains(Point(0, 0))
+        assert c.contains(Point(3, 4))  # exactly on the boundary
+
+    def test_excludes_outside(self):
+        assert not Circle(0, 0, 5).contains(Point(3.01, 4))
+
+    def test_area(self):
+        assert math.isclose(Circle(0, 0, 2).area, 4 * math.pi)
+
+    def test_bounding_rect(self):
+        assert Circle(1, 2, 3).bounding_rect() == Rect(-2, -1, 6, 6)
+
+    def test_intersects_rect_overlap(self):
+        assert Circle(0, 0, 2).intersects_rect(Rect(1, 1, 5, 5))
+
+    def test_intersects_rect_touching_corner(self):
+        # Distance from circle center to rect corner exactly equals radius.
+        assert Circle(0, 0, math.sqrt(2)).intersects_rect(Rect(1, 1, 1, 1))
+
+    def test_intersects_rect_disjoint(self):
+        assert not Circle(0, 0, 1).intersects_rect(Rect(2, 2, 1, 1))
+
+    def test_intersects_circle(self):
+        assert Circle(0, 0, 2).intersects_circle(Circle(3, 0, 1))
+        assert not Circle(0, 0, 2).intersects_circle(Circle(3.01, 0, 1))
+
+    def test_contains_rect(self):
+        assert Circle(0, 0, 2).contains_rect(Rect(-1, -1, 2, 2))
+        assert not Circle(0, 0, 1).contains_rect(Rect(-1, -1, 2, 2))
+
+    def test_translated(self):
+        assert Circle(0, 0, 2).translated(Vector(3, 4)) == Circle(3, 4, 2)
+
+    def test_centered_at(self):
+        assert Circle(9, 9, 2).centered_at(Point(1, 1)) == Circle(1, 1, 2)
+
+    def test_shapes_satisfy_protocol(self):
+        assert isinstance(Circle(0, 0, 1), Shape)
+        assert isinstance(Rect(0, 0, 1, 1), Shape)

@@ -1,0 +1,97 @@
+"""Unit tests for 2D vector algebra."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Vector
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert Vector(1, 2) + Vector(3, 4) == Vector(4, 6)
+
+    def test_subtraction(self):
+        assert Vector(5, 7) - Vector(2, 3) == Vector(3, 4)
+
+    def test_scalar_multiplication(self):
+        assert Vector(1, -2) * 3 == Vector(3, -6)
+
+    def test_scalar_multiplication_reflected(self):
+        assert 3 * Vector(1, -2) == Vector(3, -6)
+
+    def test_division(self):
+        assert Vector(4, 6) / 2 == Vector(2, 3)
+
+    def test_negation(self):
+        assert -Vector(1, -2) == Vector(-1, 2)
+
+    def test_iteration_unpacks_components(self):
+        x, y = Vector(3.5, -1.5)
+        assert (x, y) == (3.5, -1.5)
+
+
+class TestNormsAndDistances:
+    def test_norm_pythagorean(self):
+        assert Vector(3, 4).norm() == 5.0
+
+    def test_norm_squared(self):
+        assert Vector(3, 4).norm_squared() == 25.0
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_squared_to(self):
+        assert Point(1, 1).distance_squared_to(Point(4, 5)) == 25.0
+
+    def test_dot_product(self):
+        assert Vector(1, 2).dot(Vector(3, 4)) == 11.0
+
+    def test_dot_orthogonal_is_zero(self):
+        assert Vector(1, 0).dot(Vector(0, 5)) == 0.0
+
+
+class TestDirections:
+    def test_normalized_has_unit_length(self):
+        unit = Vector(3, 4).normalized()
+        assert math.isclose(unit.norm(), 1.0)
+
+    def test_normalized_preserves_direction(self):
+        unit = Vector(3, 4).normalized()
+        assert math.isclose(unit.x, 0.6)
+        assert math.isclose(unit.y, 0.8)
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Vector(0, 0).normalized()
+
+    def test_scaled_to(self):
+        scaled = Vector(3, 4).scaled_to(10.0)
+        assert math.isclose(scaled.norm(), 10.0)
+
+    def test_from_polar_roundtrip(self):
+        v = Vector.from_polar(math.pi / 4, math.sqrt(2))
+        assert math.isclose(v.x, 1.0)
+        assert math.isclose(v.y, 1.0)
+
+    def test_angle(self):
+        assert math.isclose(Vector(0, 2).angle(), math.pi / 2)
+
+    def test_zero_is_zero(self):
+        assert Vector.zero().is_zero()
+
+    def test_is_zero_with_tolerance(self):
+        assert Vector(1e-12, -1e-12).is_zero(tolerance=1e-9)
+        assert not Vector(1e-6, 0).is_zero(tolerance=1e-9)
+
+
+class TestImmutability:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Vector(1, 2).x = 3  # type: ignore[misc]
+
+    def test_point_is_vector_alias(self):
+        assert Point is Vector
+
+    def test_hashable(self):
+        assert len({Vector(1, 2), Vector(1, 2), Vector(2, 1)}) == 2

@@ -1,0 +1,159 @@
+"""Unit tests for the grid model (UoD, cells, Pmap)."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid import CellRange, Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0, 0, 100, 50), alpha=10.0)
+
+
+class TestGridConstruction:
+    def test_dimensions(self, grid):
+        assert grid.n_cols == 10
+        assert grid.n_rows == 5
+        assert grid.cell_count == 50
+
+    def test_non_divisible_area_rounds_up(self):
+        g = Grid(Rect(0, 0, 95, 45), alpha=10.0)
+        assert (g.n_cols, g.n_rows) == (10, 5)
+
+    def test_alpha_larger_than_uod(self):
+        g = Grid(Rect(0, 0, 5, 5), alpha=10.0)
+        assert (g.n_cols, g.n_rows) == (1, 1)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0, 0, 10, 10), alpha=0)
+
+    def test_empty_uod_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(Rect(0, 0, 0, 10), alpha=1)
+
+
+class TestPmap:
+    def test_interior_point(self, grid):
+        assert grid.cell_index(Point(25, 15)) == (2, 1)
+
+    def test_origin(self, grid):
+        assert grid.cell_index(Point(0, 0)) == (0, 0)
+
+    def test_cell_boundary_maps_to_upper_cell(self, grid):
+        # floor semantics: a point exactly on an interior boundary belongs
+        # to the cell whose lower edge it is.
+        assert grid.cell_index(Point(10, 0)) == (1, 0)
+
+    def test_far_uod_boundary_clamps_into_last_cell(self, grid):
+        assert grid.cell_index(Point(100, 50)) == (9, 4)
+
+    def test_outside_uod_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_index(Point(101, 0))
+
+    def test_offset_uod(self):
+        g = Grid(Rect(-50, -50, 100, 100), alpha=25.0)
+        assert g.cell_index(Point(-50, -50)) == (0, 0)
+        assert g.cell_index(Point(0, 0)) == (2, 2)
+
+    def test_pmap_consistent_with_cell_rect(self, grid):
+        # Every sampled point lies inside the rect of its mapped cell.
+        for x in range(0, 101, 7):
+            for y in range(0, 51, 7):
+                p = Point(float(x), float(y))
+                cell = grid.cell_index(p)
+                assert grid.cell_rect(cell).contains(p)
+
+
+class TestCellRects:
+    def test_cell_rect_geometry(self, grid):
+        assert grid.cell_rect((2, 1)) == Rect(20, 10, 10, 10)
+
+    def test_cell_rect_out_of_grid_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_rect((10, 0))
+        with pytest.raises(ValueError):
+            grid.cell_rect((0, -1))
+
+    def test_is_valid_cell(self, grid):
+        assert grid.is_valid_cell((0, 0))
+        assert grid.is_valid_cell((9, 4))
+        assert not grid.is_valid_cell((10, 4))
+
+    def test_clamp_cell(self, grid):
+        assert grid.clamp_cell(-3, 7) == (0, 4)
+
+    def test_all_cells_count(self, grid):
+        assert len(list(grid.all_cells())) == 50
+
+
+class TestCellsIntersecting:
+    def test_rect_within_single_cell(self, grid):
+        r = grid.cells_intersecting(Rect(21, 11, 3, 3))
+        assert list(r) == [(2, 1)]
+
+    def test_rect_spanning_cells(self, grid):
+        r = grid.cells_intersecting(Rect(5, 5, 20, 10))
+        assert r == CellRange(0, 2, 0, 1)
+
+    def test_rect_touching_boundary_includes_neighbour(self, grid):
+        # A rect whose edge lies exactly on x=20 intersects closed cell 1.
+        r = grid.cells_intersecting(Rect(20, 0, 5, 5))
+        assert r.lo_i == 1
+
+    def test_rect_partially_outside_uod_clamps(self, grid):
+        r = grid.cells_intersecting(Rect(-10, -10, 15, 15))
+        assert r == CellRange(0, 0, 0, 0)
+
+    def test_matches_brute_force(self, grid):
+        probe = Rect(13, 7, 42, 31)
+        got = set(grid.cells_intersecting(probe))
+        want = {
+            cell for cell in grid.all_cells() if grid.cell_rect(cell).intersects(probe)
+        }
+        assert got == want
+
+
+class TestNeighbours:
+    def test_interior_cell_has_eight(self, grid):
+        assert len(grid.neighbours((5, 2))) == 8
+
+    def test_corner_cell_has_three(self, grid):
+        assert sorted(grid.neighbours((0, 0))) == [(0, 1), (1, 0), (1, 1)]
+
+    def test_edge_cell_has_five(self, grid):
+        assert len(grid.neighbours((5, 0))) == 5
+
+
+class TestCellRange:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            CellRange(2, 1, 0, 0)
+
+    def test_contains(self):
+        r = CellRange(1, 3, 2, 4)
+        assert r.contains((2, 3))
+        assert not r.contains((0, 3))
+        assert (2, 3) in r
+        assert "nonsense" not in r
+
+    def test_cell_count(self):
+        assert CellRange(1, 3, 2, 4).cell_count == 9
+
+    def test_iteration_yields_all(self):
+        assert len(list(CellRange(0, 1, 0, 1))) == 4
+
+    def test_intersects(self):
+        a = CellRange(0, 2, 0, 2)
+        assert a.intersects(CellRange(2, 4, 2, 4))
+        assert not a.intersects(CellRange(3, 4, 0, 2))
+
+    def test_union_cells(self):
+        u = CellRange(0, 0, 0, 0).union_cells(CellRange(2, 2, 2, 2))
+        assert u == {(0, 0), (2, 2)}
+
+    def test_bounding_union(self):
+        b = CellRange(0, 0, 0, 0).bounding_union(CellRange(2, 2, 2, 2))
+        assert b == CellRange(0, 2, 0, 2)

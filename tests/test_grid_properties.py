@@ -1,0 +1,100 @@
+"""Property-based tests for the grid and monitoring regions."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.geometry import Circle, Point, Rect
+from repro.grid import Grid, bounding_box, monitoring_region
+
+alphas = st.floats(min_value=0.5, max_value=40.0, allow_nan=False)
+sides = st.floats(min_value=10.0, max_value=500.0, allow_nan=False)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+radii = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+
+
+@st.composite
+def grids(draw):
+    return Grid(Rect(0.0, 0.0, draw(sides), draw(sides)), draw(alphas))
+
+
+@st.composite
+def grid_and_point(draw):
+    grid = draw(grids())
+    p = Point(draw(unit) * grid.uod.w, draw(unit) * grid.uod.h)
+    return grid, p
+
+
+class TestPmapProperties:
+    @given(grid_and_point())
+    def test_pmap_total_over_uod(self, gp):
+        grid, p = gp
+        cell = grid.cell_index(p)
+        assert grid.is_valid_cell(cell)
+
+    @given(grid_and_point())
+    def test_point_inside_its_cell_rect(self, gp):
+        grid, p = gp
+        rect = grid.cell_rect(grid.cell_index(p))
+        # Tolerate the boundary clamp into the last row/column.
+        assert rect.inflated(1e-9).contains(p)
+
+    @given(grid_and_point())
+    def test_cells_intersecting_includes_cell_of_point(self, gp):
+        grid, p = gp
+        probe = Rect(p.x, p.y, 0.0, 0.0)
+        assert grid.cell_index(p) in grid.cells_intersecting(probe)
+
+
+class TestReachProperties:
+    @given(
+        st.floats(min_value=-20, max_value=20, allow_nan=False),
+        st.floats(min_value=-20, max_value=20, allow_nan=False),
+        st.floats(min_value=0, max_value=40, allow_nan=False),
+        st.floats(min_value=0, max_value=40, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_rect_region_within_reach_disk(self, lx, ly, w, h, fx, fy):
+        """Soundness of the grouping / safe-period bound: every point of a
+        focal-relative region lies within ``reach`` of the binding point."""
+        from repro.grid import region_reach
+
+        rect = Rect(lx, ly, w, h)
+        reach = region_reach(rect)
+        sample = Point(lx + fx * w, ly + fy * h)
+        assert sample.norm() <= reach + 1e-9
+
+
+class TestMonitoringRegionProperties:
+    @given(grid_and_point(), radii)
+    def test_bounding_box_inside_monitoring_footprint(self, gp, r):
+        grid, p = gp
+        cell = grid.cell_index(p)
+        region = Circle(0, 0, r)
+        mr = monitoring_region(grid, cell, region)
+        bb = bounding_box(grid, cell, region)
+        # Every grid cell intersecting the bounding box is in mr.
+        for probe_cell in grid.cells_intersecting(bb):
+            assert mr.contains(probe_cell)
+
+    @given(grid_and_point(), radii)
+    def test_focal_cell_in_monitoring_region(self, gp, r):
+        grid, p = gp
+        cell = grid.cell_index(p)
+        assert monitoring_region(grid, cell, Circle(0, 0, r)).contains(cell)
+
+    @given(grid_and_point(), radii, unit, unit)
+    def test_target_in_region_is_in_monitoring_region(self, gp, r, fx, fy):
+        """The load-bearing protocol property: while the focal object is in
+        its current cell, any object inside the query's spatial region has
+        its own cell inside the monitoring region."""
+        grid, focal = gp
+        assume(r > 0)
+        cell = grid.cell_index(focal)
+        mr = monitoring_region(grid, cell, Circle(0, 0, r))
+        # A target somewhere inside the region (polar-ish sample).
+        tx = focal.x + (2 * fx - 1) * r
+        ty = focal.y + (2 * fy - 1) * r
+        target = Point(tx, ty)
+        assume(grid.uod.contains(target))
+        if Circle(focal.x, focal.y, r).contains(target):
+            assert mr.contains(grid.cell_index(target))

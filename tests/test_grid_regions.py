@@ -1,0 +1,102 @@
+"""Tests for bounding boxes and monitoring regions (paper Section 2.3)."""
+
+import pytest
+
+from repro.geometry import Circle, Point, Rect
+from repro.grid import (
+    Grid,
+    bounding_box,
+    monitoring_region,
+    monitoring_region_rect,
+    region_reach,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0, 0, 100, 100), alpha=10.0)
+
+
+class TestRegionReach:
+    def test_circle_reach_is_radius(self):
+        assert region_reach(Circle(0, 0, 3.5)) == 3.5
+
+    def test_rect_reach_is_farthest_corner(self):
+        assert region_reach(Rect(-2, -1, 4, 2)) == pytest.approx(5**0.5)
+
+
+class TestBoundingBox:
+    def test_paper_formula(self, grid):
+        # bound_box(q) = Rect(rc.lx - r, rc.ly - r, alpha + 2r, alpha + 2r)
+        bb = bounding_box(grid, (3, 4), Circle(0, 0, 2.0))
+        assert bb == Rect(28, 38, 14, 14)
+
+    def test_zero_radius_equals_cell(self, grid):
+        bb = bounding_box(grid, (3, 4), Circle(0, 0, 0.0))
+        assert bb == grid.cell_rect((3, 4))
+
+    def test_covers_all_reachable_region_positions(self, grid):
+        """The bounding box covers the query region wherever the focal
+        object sits inside its current cell (the defining property)."""
+        region = Circle(0, 0, 3.0)
+        cell = (5, 5)
+        bb = bounding_box(grid, cell, region)
+        cell_rect = grid.cell_rect(cell)
+        # Worst cases are the cell corners.
+        for corner in cell_rect.corners():
+            moved = region.centered_at(corner)
+            assert bb.contains_rect(moved.bounding_rect())
+
+
+class TestMonitoringRegion:
+    def test_small_radius_center_cell(self, grid):
+        mr = monitoring_region(grid, (5, 5), Circle(0, 0, 1.0))
+        # radius 1 inflates the 10-mile cell by 1 mile on each side: the
+        # bounding box leaks into all 8 neighbours.
+        assert mr.cell_count == 9
+        assert mr.contains((5, 5))
+
+    def test_radius_zero_still_includes_neighbours_touching(self, grid):
+        # bound box == cell rect; closed cells sharing the boundary count.
+        mr = monitoring_region(grid, (5, 5), Circle(0, 0, 0.0))
+        assert mr.cell_count == 9
+
+    def test_larger_radius_grows_region(self, grid):
+        small = monitoring_region(grid, (5, 5), Circle(0, 0, 1.0))
+        large = monitoring_region(grid, (5, 5), Circle(0, 0, 11.0))
+        assert large.cell_count > small.cell_count
+
+    def test_clamped_at_uod_corner(self, grid):
+        mr = monitoring_region(grid, (0, 0), Circle(0, 0, 1.0))
+        assert mr.cell_count == 4  # 2 x 2, clipped by the UoD corner
+
+    def test_region_quantized_to_cells(self, grid):
+        # Radii that do not cross a cell boundary give identical regions
+        # (the paper's Fig. 12 step behaviour).
+        a = monitoring_region(grid, (5, 5), Circle(0, 0, 2.0))
+        b = monitoring_region(grid, (5, 5), Circle(0, 0, 8.0))
+        c = monitoring_region(grid, (5, 5), Circle(0, 0, 12.0))
+        assert a == b
+        assert c.cell_count > b.cell_count
+
+    def test_monitoring_region_rect_footprint(self, grid):
+        mr = monitoring_region(grid, (5, 5), Circle(0, 0, 1.0))
+        rect = monitoring_region_rect(grid, mr)
+        assert rect == Rect(40, 40, 30, 30)
+
+    def test_covers_query_region_while_focal_in_cell(self, grid):
+        """Any object inside the query region is inside the monitoring
+        region, as long as the focal object stays in its current cell."""
+        region = Circle(0, 0, 4.0)
+        cell = (3, 7)
+        mr = monitoring_region(grid, cell, region)
+        footprint = monitoring_region_rect(grid, mr)
+        for corner in grid.cell_rect(cell).corners():
+            moved = region.centered_at(corner)
+            # Every point of the moved region lies inside the footprint.
+            assert footprint.contains_rect(moved.bounding_rect())
+
+    def test_focal_cell_always_inside(self, grid):
+        for cell in [(0, 0), (9, 9), (4, 2)]:
+            mr = monitoring_region(grid, cell, Circle(0, 0, 5.0))
+            assert mr.contains(cell)

@@ -1,0 +1,167 @@
+"""Tests for the oracle, error definition, collectors, and table output."""
+
+import pytest
+
+from repro.core import MovingQuery, TrueFilter
+from repro.geometry import Circle, Rect
+from repro.grid import Grid
+from repro.metrics import (
+    MetricsLog,
+    StepStats,
+    exact_results,
+    format_table,
+    mean_result_error,
+    result_error,
+)
+
+from tests.conftest import make_object
+
+
+class TestExactResults:
+    def make_world(self):
+        objects = [
+            make_object(0, 25, 25),
+            make_object(1, 26, 25),
+            make_object(2, 25, 28),
+            make_object(3, 45, 45),
+        ]
+        grid = Grid(Rect(0, 0, 50, 50), alpha=5.0)
+        return objects, grid
+
+    def query(self, qid=1, oid=0, r=2.0, flt=None):
+        return MovingQuery(qid=qid, oid=oid, region=Circle(0, 0, r), filter=flt or TrueFilter())
+
+    def test_containment(self):
+        objects, grid = self.make_world()
+        results = exact_results(objects, [self.query(r=3.5)], grid)
+        assert results[1] == frozenset({1, 2})
+
+    def test_focal_excluded(self):
+        objects, grid = self.make_world()
+        results = exact_results(objects, [self.query(r=50.0)], grid)
+        assert 0 not in results[1]
+
+    def test_filter_respected(self):
+        class Nothing:
+            def matches(self, props):
+                return False
+
+        objects, grid = self.make_world()
+        results = exact_results(objects, [self.query(flt=Nothing())], grid)
+        assert results[1] == frozenset()
+
+    def test_missing_focal_gives_empty(self):
+        objects, grid = self.make_world()
+        results = exact_results(objects, [self.query(oid=99)], grid)
+        assert results[1] == frozenset()
+
+    def test_multiple_queries(self):
+        objects, grid = self.make_world()
+        results = exact_results(
+            objects, [self.query(qid=1, r=2.0), self.query(qid=2, r=10.0)], grid
+        )
+        assert results[1] == frozenset({1})
+        assert results[2] == frozenset({1, 2})
+
+
+class TestErrorDefinition:
+    def test_missing_fraction(self):
+        # Paper: |correct - reported| / |correct|
+        assert result_error({1}, {1, 2}) == 0.5
+
+    def test_extra_objects_do_not_count(self):
+        assert result_error({1, 2, 3}, {1, 2}) == 0.0
+
+    def test_empty_correct_is_no_sample(self):
+        assert result_error({1}, set()) is None
+
+    def test_mean_skips_empty_samples(self):
+        reported = {1: frozenset(), 2: frozenset({5})}
+        correct = {1: frozenset(), 2: frozenset({5, 6})}
+        assert mean_result_error(reported, correct) == 0.5
+
+    def test_mean_none_when_all_empty(self):
+        assert mean_result_error({}, {1: frozenset()}) is None
+
+    def test_unreported_query_counts_fully_missing(self):
+        assert mean_result_error({}, {1: frozenset({1, 2})}) == 1.0
+
+
+class TestMetricsLog:
+    def make_log(self, n=4, warmup=0):
+        log = MetricsLog(step_seconds=30.0, population=10, warmup_steps=warmup)
+        for i in range(1, n + 1):
+            log.append(
+                StepStats(
+                    step=i,
+                    server_seconds=0.01 * i,
+                    server_ops=i,
+                    uplink_messages=2,
+                    downlink_messages=1,
+                    uplink_bits=200.0,
+                    downlink_bits=100.0,
+                    energy_joules=3.0,
+                    mean_lqt_size=2.0,
+                    evaluated_queries=5,
+                    skipped_by_safe_period=1,
+                    object_processing_seconds=0.1,
+                    result_error=0.25 if i % 2 == 0 else None,
+                )
+            )
+        return log
+
+    def test_messages_per_second(self):
+        log = self.make_log()
+        assert log.messages_per_second() == pytest.approx(3 / 30.0)
+        assert log.uplink_messages_per_second() == pytest.approx(2 / 30.0)
+        assert log.downlink_messages_per_second() == pytest.approx(1 / 30.0)
+
+    def test_mean_server_seconds(self):
+        log = self.make_log(n=2)
+        assert log.mean_server_seconds() == pytest.approx(0.015)
+
+    def test_power(self):
+        log = self.make_log(n=2)
+        # 6 J over 60 s over 10 objects = 0.01 W
+        assert log.mean_power_watts_per_object() == pytest.approx(0.01)
+
+    def test_warmup_excluded(self):
+        log = self.make_log(n=4, warmup=2)
+        assert log.mean_server_seconds() == pytest.approx((0.03 + 0.04) / 2)
+
+    def test_requires_measured_steps(self):
+        log = MetricsLog(step_seconds=30.0, population=10, warmup_steps=5)
+        log.append(StepStats(step=1))
+        with pytest.raises(ValueError):
+            log.messages_per_second()
+
+    def test_error_mean_skips_none(self):
+        log = self.make_log(n=4)
+        assert log.mean_result_error() == pytest.approx(0.25)
+
+    def test_lqt_and_processing(self):
+        log = self.make_log(n=2)
+        assert log.mean_lqt_size() == 2.0
+        assert log.mean_object_processing_seconds() == pytest.approx(0.1 / 10)
+        assert log.total_evaluated_queries() == 10
+        assert log.total_skipped_by_safe_period() == 2
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(("a", "bee"), [(1, 2.5), (10, None)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "-" in lines[2]
+        assert "10" in lines[4]
+        assert lines[4].endswith("-")  # None renders as '-'
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+    def test_float_formatting(self):
+        table = format_table(("x",), [(0.000123456,), (12345.6,), (0.0,)])
+        assert "1.235e-04" in table
+        assert "1.235e+04" in table

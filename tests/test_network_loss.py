@@ -1,0 +1,97 @@
+"""Tests for the wireless message-loss injector."""
+
+import pytest
+
+from repro.core.messages import MotionStateRequest, VelocityChangeReport
+from repro.core import PropagationMode
+from repro.geometry import Point, Vector
+from repro.mobility import MotionState
+from repro.network import LossModel, RELIABLE_MESSAGE_TYPES
+from repro.sim import SimulationRng
+
+from tests.conftest import circle_query, make_object, make_system
+
+
+def velocity_report():
+    return VelocityChangeReport(
+        oid=1, state=MotionState(pos=Point(0, 0), vel=Vector(0, 0), recorded_at=0.0)
+    )
+
+
+class TestLossModel:
+    def test_zero_rate_never_drops(self):
+        loss = LossModel(SimulationRng(1))
+        assert not any(loss.drop_uplink(velocity_report()) for _ in range(100))
+        assert not any(loss.drop_delivery(velocity_report()) for _ in range(100))
+
+    def test_full_rate_always_drops(self):
+        loss = LossModel(SimulationRng(1), uplink_loss_rate=1.0, downlink_loss_rate=1.0)
+        assert all(loss.drop_uplink(velocity_report()) for _ in range(50))
+        assert all(loss.drop_delivery(velocity_report()) for _ in range(50))
+
+    def test_reliable_types_exempt(self):
+        loss = LossModel(SimulationRng(1), uplink_loss_rate=1.0, downlink_loss_rate=1.0)
+        request = MotionStateRequest(oid=1)
+        assert not loss.drop_uplink(request)
+        assert not loss.drop_delivery(request)
+        assert "FocalRoleNotification" in RELIABLE_MESSAGE_TYPES
+
+    def test_counters(self):
+        loss = LossModel(SimulationRng(1), uplink_loss_rate=1.0)
+        for _ in range(5):
+            loss.drop_uplink(velocity_report())
+        assert loss.dropped_uplinks == 5
+        assert loss.dropped_deliveries == 0
+
+    def test_intermediate_rate_statistics(self):
+        loss = LossModel(SimulationRng(2), downlink_loss_rate=0.3)
+        drops = sum(loss.drop_delivery(velocity_report()) for _ in range(2000))
+        assert 0.2 < drops / 2000 < 0.4
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LossModel(SimulationRng(1), uplink_loss_rate=1.5)
+
+
+class TestSystemUnderLoss:
+    def build(self, uplink=0.0, downlink=0.0, seed=3):
+        objects = [
+            make_object(0, 25, 25, vx=40.0, vy=10.0),
+            make_object(1, 26, 25, vx=-20.0, vy=30.0),
+            make_object(2, 28, 27, vx=15.0, vy=-25.0),
+            make_object(3, 20, 20, vx=35.0, vy=5.0),
+        ]
+        loss = LossModel(
+            SimulationRng(seed), uplink_loss_rate=uplink, downlink_loss_rate=downlink
+        )
+        system = make_system(objects, velocity_changes_per_step=2, loss=loss)
+        system.install_query(circle_query(0, 3.0))
+        return system, loss
+
+    def test_zero_loss_stays_exact(self):
+        system, _loss = self.build()
+        system.run(10)
+        assert system.metrics.mean_result_error() == 0.0
+
+    def test_lossy_system_keeps_running(self):
+        system, loss = self.build(uplink=0.3, downlink=0.3)
+        system.run(20)
+        assert loss.dropped_uplinks + loss.dropped_deliveries > 0
+        error = system.metrics.mean_result_error()
+        assert error is None or 0.0 <= error <= 1.0
+
+    def test_installation_survives_full_steady_state_loss(self):
+        # Control-plane reliability: even with 100% loss on ordinary
+        # traffic, installation (request/response/notification) completes.
+        system, _loss = self.build(uplink=1.0, downlink=1.0)
+        assert system.client(0).has_mq
+        assert 0 in system.server.fot
+
+    def test_loss_reduces_delivered_not_counted_messages(self):
+        clean, _ = self.build()
+        lossy, _ = self.build(uplink=0.5, downlink=0.5)
+        clean.run(10)
+        lossy.run(10)
+        # Messages are counted on the medium whether or not they arrive;
+        # loss can only reduce *follow-up* traffic, so counts stay close.
+        assert lossy.metrics.messages_per_second() <= clean.metrics.messages_per_second() * 1.2

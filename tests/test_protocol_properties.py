@@ -1,0 +1,90 @@
+"""Property-based end-to-end test: on random small worlds, the distributed
+EQP protocol (zero dead-reckoning threshold) equals the omniscient oracle at
+every step, and the protocol invariants hold."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import PropagationMode
+
+from tests.conftest import circle_query, make_object, make_system
+
+object_count = st.integers(min_value=3, max_value=25)
+query_count = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=10_000)
+alpha_values = st.sampled_from([2.0, 5.0, 10.0, 25.0])
+
+
+def build_world(num_objects, num_queries, seed, alpha, **kwargs):
+    import random
+
+    rng = random.Random(seed)
+    objects = [
+        make_object(
+            oid,
+            rng.uniform(0, 50),
+            rng.uniform(0, 50),
+            vx=rng.uniform(-150, 150),
+            vy=rng.uniform(-150, 150),
+            max_speed=250.0,
+        )
+        for oid in range(num_objects)
+    ]
+    system = make_system(
+        objects,
+        alpha=alpha,
+        velocity_changes_per_step=max(1, num_objects // 5),
+        seed=seed,
+        **kwargs,
+    )
+    focals = rng.sample(range(num_objects), min(num_queries, num_objects))
+    for oid in focals:
+        system.install_query(circle_query(oid, rng.uniform(0.5, 6.0)))
+    return system
+
+
+class TestProtocolProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(object_count, query_count, seeds, alpha_values)
+    def test_eqp_equals_oracle(self, num_objects, num_queries, seed, alpha):
+        system = build_world(num_objects, num_queries, seed, alpha)
+        for _ in range(8):
+            system.step()
+            assert system.results() == system.oracle_results()
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(object_count, query_count, seeds, alpha_values)
+    def test_invariants_hold(self, num_objects, num_queries, seed, alpha):
+        system = build_world(num_objects, num_queries, seed, alpha)
+        for _ in range(6):
+            system.step()
+            system.check_invariants()
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(object_count, query_count, seeds, alpha_values)
+    def test_optimizations_do_not_change_results(self, num_objects, num_queries, seed, alpha):
+        plain = build_world(
+            num_objects, num_queries, seed, alpha, grouping=False, safe_period=False
+        )
+        optimized = build_world(
+            num_objects, num_queries, seed, alpha, grouping=True, safe_period=True
+        )
+        for _ in range(6):
+            plain.step()
+            optimized.step()
+        assert plain.results() == optimized.results()
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(object_count, query_count, seeds)
+    def test_lazy_only_misses_never_invents(self, num_objects, num_queries, seed):
+        """LQP may *miss* result members (its documented error mode) but an
+        object it reports as a target must truly be one whenever EQP says
+        so too -- compare against the oracle for false positives."""
+        system = build_world(
+            num_objects, num_queries, seed, 5.0, propagation=PropagationMode.LAZY
+        )
+        for _ in range(8):
+            system.step()
+            oracle = system.oracle_results()
+            for qid, reported in system.results().items():
+                extras = reported - oracle[qid]
+                assert not extras, f"lazy propagation invented members {extras}"

@@ -1,0 +1,99 @@
+"""Tests for R*-tree k-nearest-neighbor search."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.spatial import RStarTree
+
+
+def point_rect(x, y):
+    return Rect(float(x), float(y), 0.0, 0.0)
+
+
+class TestNearestUnit:
+    def test_empty_tree(self):
+        assert RStarTree().nearest(Point(0, 0)) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RStarTree().nearest(Point(0, 0), k=0)
+
+    def test_single_item(self):
+        tree = RStarTree()
+        tree.insert(point_rect(3, 4), "a")
+        [(dist, item)] = tree.nearest(Point(0, 0))
+        assert item == "a"
+        assert dist == pytest.approx(5.0)
+
+    def test_k_larger_than_size(self):
+        tree = RStarTree()
+        tree.insert(point_rect(1, 0), "a")
+        tree.insert(point_rect(2, 0), "b")
+        results = tree.nearest(Point(0, 0), k=10)
+        assert [item for _, item in results] == ["a", "b"]
+
+    def test_ordering(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(20):
+            tree.insert(point_rect(i, 0), i)
+        results = tree.nearest(Point(7.2, 0), k=4)
+        assert [item for _, item in results] == [7, 8, 6, 9]
+
+    def test_rect_item_distance_zero_inside(self):
+        tree = RStarTree()
+        tree.insert(Rect(0, 0, 10, 10), "box")
+        [(dist, item)] = tree.nearest(Point(5, 5))
+        assert item == "box"
+        assert dist == 0.0
+
+    def test_after_deletions(self):
+        tree = RStarTree(max_entries=4)
+        for i in range(30):
+            tree.insert(point_rect(i, i), i)
+        for i in range(0, 30, 2):
+            assert tree.delete(point_rect(i, i), i)
+        results = tree.nearest(Point(0, 0), k=3)
+        assert [item for _, item in results] == [1, 3, 5]
+
+
+class TestNearestProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_brute_force(self, points, qx, qy, k):
+        tree = RStarTree(max_entries=4)
+        for i, (x, y) in enumerate(points):
+            tree.insert(point_rect(x, y), i)
+        probe = Point(qx, qy)
+        got = [round(d, 9) for d, _ in tree.nearest(probe, k=k)]
+        want = sorted(
+            round(math.hypot(x - qx, y - qy), 9) for x, y in points
+        )[: min(k, len(points))]
+        assert got == want
+
+    def test_scales_with_random_workload(self):
+        rng = random.Random(4)
+        tree = RStarTree(max_entries=8)
+        pts = {}
+        for i in range(400):
+            pts[i] = (rng.uniform(0, 100), rng.uniform(0, 100))
+            tree.insert(point_rect(*pts[i]), i)
+        probe = Point(50, 50)
+        got = [item for _, item in tree.nearest(probe, k=10)]
+        want = sorted(pts, key=lambda i: math.hypot(pts[i][0] - 50, pts[i][1] - 50))[:10]
+        assert got == want

@@ -1,0 +1,68 @@
+"""Property-based tests: the R*-tree agrees with brute force under any
+sequence of inserts, deletes, and updates."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.spatial import RStarTree
+
+coord = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+extent = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def rect(draw):
+    return Rect(draw(coord), draw(coord), draw(extent), draw(extent))
+
+
+op = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 40), rect()),
+    st.tuples(st.just("delete"), st.integers(0, 40), rect()),
+    st.tuples(st.just("update"), st.integers(0, 40), rect()),
+)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(op, max_size=120), rect())
+    def test_search_matches_reference(self, ops, probe):
+        tree = RStarTree(max_entries=4)
+        reference: dict[int, Rect] = {}
+        for kind, key, r in ops:
+            if kind == "insert" and key not in reference:
+                tree.insert(r, key)
+                reference[key] = r
+            elif kind == "delete" and key in reference:
+                assert tree.delete(reference.pop(key), key)
+            elif kind == "update" and key in reference:
+                tree.update(reference[key], r, key)
+                reference[key] = r
+        assert len(tree) == len(reference)
+        got = sorted(tree.search(probe))
+        want = sorted(k for k, r in reference.items() if r.intersects(probe))
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(op, max_size=120))
+    def test_structural_invariants_hold(self, ops):
+        tree = RStarTree(max_entries=4)
+        reference: dict[int, Rect] = {}
+        for kind, key, r in ops:
+            if kind == "insert" and key not in reference:
+                tree.insert(r, key)
+                reference[key] = r
+            elif kind == "delete" and key in reference:
+                tree.delete(reference.pop(key), key)
+            elif kind == "update" and key in reference:
+                tree.update(reference[key], r, key)
+                reference[key] = r
+            tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(rect(), min_size=1, max_size=80))
+    def test_every_inserted_item_findable(self, rects):
+        tree = RStarTree(max_entries=4)
+        for i, r in enumerate(rects):
+            tree.insert(r, i)
+        for i, r in enumerate(rects):
+            assert i in tree.search(r)

@@ -1,0 +1,170 @@
+"""Tests for the simulation substrate: clock, engine, RNG, tracing."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    PHASE_ORDER,
+    SimulationClock,
+    SimulationEngine,
+    SimulationRng,
+    TraceLog,
+    zipf_weights,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        clock = SimulationClock(30.0)
+        assert clock.step == 0
+        assert clock.now_seconds == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock(30.0)
+        assert clock.advance() == 1
+        assert clock.now_seconds == 30.0
+
+    def test_hours_conversion(self):
+        clock = SimulationClock(30.0)
+        clock.advance()
+        assert math.isclose(clock.now_hours, 30.0 / 3600.0)
+        assert math.isclose(clock.step_hours, 1.0 / 120.0)
+
+    def test_reset(self):
+        clock = SimulationClock(30.0)
+        clock.advance()
+        clock.reset()
+        assert clock.step == 0
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(0)
+
+
+class TestEngine:
+    def test_phase_ordering(self):
+        engine = SimulationEngine()
+        seen = []
+        for phase in reversed(PHASE_ORDER):  # register out of order
+            engine.register(phase, lambda c, p=phase: seen.append(p))
+        engine.step()
+        assert seen == list(PHASE_ORDER)
+
+    def test_same_phase_keeps_registration_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register("movement", lambda c: seen.append("first"))
+        engine.register("movement", lambda c: seen.append("second"))
+        engine.step()
+        assert seen == ["first", "second"]
+
+    def test_clock_advances_before_callbacks(self):
+        engine = SimulationEngine()
+        steps = []
+        engine.register("movement", lambda c: steps.append(c.step))
+        engine.run(3)
+        assert steps == [1, 2, 3]
+
+    def test_unknown_phase_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.register("teleport", lambda c: None)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().run(-1)
+
+    def test_run_returns_final_step(self):
+        assert SimulationEngine().run(5) == 5
+
+
+class TestRng:
+    def test_deterministic_from_seed(self):
+        a = SimulationRng(7)
+        b = SimulationRng(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert SimulationRng(1).random() != SimulationRng(2).random()
+
+    def test_fork_streams_are_independent(self):
+        base = SimulationRng(7)
+        fork1 = base.fork(1)
+        fork2 = base.fork(2)
+        assert fork1.random() != fork2.random()
+        # Forking is deterministic too.
+        assert SimulationRng(7).fork(1).random() == SimulationRng(7).fork(1).random()
+
+    def test_randint_inclusive(self):
+        rng = SimulationRng(3)
+        draws = {rng.randint(0, 2) for _ in range(200)}
+        assert draws == {0, 1, 2}
+
+    def test_direction_in_range(self):
+        rng = SimulationRng(3)
+        for _ in range(100):
+            angle = rng.direction()
+            assert 0.0 <= angle <= 2 * math.pi
+
+    def test_truncated_gauss_respects_bounds(self):
+        rng = SimulationRng(3)
+        for _ in range(300):
+            v = rng.truncated_gauss(1.0, 5.0, lo=0.5, hi=2.0)
+            assert 0.5 <= v <= 2.0
+
+    def test_truncated_gauss_degenerate_fallback(self):
+        rng = SimulationRng(3)
+        # Impossible-to-hit window forces the clamped fallback.
+        v = rng.truncated_gauss(100.0, 0.001, lo=0.0, hi=1.0)
+        assert 0.0 <= v <= 1.0
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        weights = zipf_weights(5, 0.8)
+        assert math.isclose(sum(weights), 1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(5, 0.8)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 0.8)
+
+    def test_zipf_choice_prefers_first(self):
+        rng = SimulationRng(11)
+        candidates = ["a", "b", "c", "d", "e"]
+        counts = {c: 0 for c in candidates}
+        for _ in range(3000):
+            counts[rng.zipf_choice(candidates, 0.8)] += 1
+        assert counts["a"] > counts["e"]
+        assert counts["a"] > 3000 / 5  # clearly above uniform
+
+    def test_exponent_zero_is_uniformish(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(math.isclose(w, 0.25) for w in weights)
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        log = TraceLog()
+        log.record(1, "uplink", oid=3)
+        log.record(2, "uplink", oid=4)
+        log.record(2, "broadcast", stations=2)
+        assert log.count("uplink") == 2
+        assert len(log.of_kind("broadcast")) == 1
+        assert log.of_kind("uplink")[0].details == {"oid": 3}
+
+    def test_len_and_iter(self):
+        log = TraceLog()
+        log.record(1, "a")
+        assert len(log) == 1
+        assert [e.kind for e in log] == ["a"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1, "a")
+        log.clear()
+        assert len(log) == 0
