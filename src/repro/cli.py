@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale 0.05         # everything, custom scale
     python -m repro params [--scale 0.06]        # show Table 1 (scaled)
     python -m repro simulate --objects 400 --queries 40 --steps 30
+    python -m repro bench --smoke                # engine benchmark artifact
 
 ``run`` prints each experiment's table (the same output the benchmark
 harness produces); ``simulate`` runs a single ad-hoc MobiEyes simulation
@@ -142,6 +143,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.fastpath.bench import run_bench
+
+    run_bench(tag=args.tag, smoke=args.smoke, out_dir=args.output)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     from repro.experiments.runner import DEFAULT_STEPS
@@ -194,6 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--render", action="store_true", help="draw an ASCII map of the final world state"
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark reference vs. vectorized engine, write BENCH_<tag>.json"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="small REPRO_SCALE-aware matrix for CI"
+    )
+    bench.add_argument(
+        "--tag", default=None, help="artifact tag (default: 'local', or 'smoke' with --smoke)"
+    )
+    bench.add_argument(
+        "--output", default=None, help="directory for the artifact (default: current directory)"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     report = sub.add_parser(
         "report", help="run every experiment and write the EXPERIMENTS.md report"

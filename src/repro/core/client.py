@@ -187,7 +187,7 @@ class MobiEyesClient:
         predicted = None
         dist_sq = 0.0
         outside_reach = False
-        eval_period = self.config.eval_period_steps * self.config.step_seconds / 3600.0
+        eval_period = self.config.eval_period_hours
         for entry in group:
             if self.config.safe_period and entry.ptm > now:
                 self.stats.skipped_by_safe_period += 1
@@ -230,7 +230,7 @@ class MobiEyesClient:
         and only this object's own maximum speed (the region cannot move).
         """
         changes: dict[QueryId, bool] = {}
-        eval_period = self.config.eval_period_steps * self.config.step_seconds / 3600.0
+        eval_period = self.config.eval_period_hours
         for entry in group:
             if self.config.safe_period and entry.ptm > now:
                 self.stats.skipped_by_safe_period += 1
@@ -309,12 +309,13 @@ class MobiEyesClient:
                 if removed is not None and removed.is_target:
                     leave_changes[desc.qid] = False
                 continue
-            existing = self.lqt.get(desc.qid) if desc.qid in self.lqt else None
+            existing = self.lqt.find(desc.qid)
             if existing is not None:
                 existing.focal_state = desc.focal_state
                 existing.focal_max_speed = desc.focal_max_speed
                 existing.mon_region = desc.mon_region
                 existing.ptm = 0.0  # focal moved: the safe period is void
+                self.lqt.notify_state(existing)
             elif desc.filter.matches(self.obj.props):
                 self.lqt.install(LqtEntry.from_descriptor(desc))
         if leave_changes:
@@ -322,10 +323,11 @@ class MobiEyesClient:
 
     def _on_velocity_broadcast(self, message: VelocityChangeBroadcast) -> None:
         for qid in message.qids:
-            if qid in self.lqt:
-                entry = self.lqt.get(qid)
+            entry = self.lqt.find(qid)
+            if entry is not None:
                 entry.focal_state = message.state
                 entry.ptm = 0.0  # prediction basis changed: re-evaluate
+                self.lqt.notify_state(entry)
         # Lazy propagation: the expanded broadcast lets objects that changed
         # cells install the queries they missed.
         if message.descriptors:

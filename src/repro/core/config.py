@@ -34,6 +34,12 @@ class MobiEyesConfig:
             server re-broadcasts their descriptors every this many steps
             (0 disables beaconing).  Ignored under eager propagation.
         radio: energy model for message-size accounting.
+        engine: hot-path implementation.  ``"reference"`` is the pure-Python
+            per-object protocol (no third-party imports); ``"vectorized"``
+            runs movement, coverage indexing, cell-crossing detection, and
+            LQT evaluation through the numpy-backed
+            :mod:`repro.fastpath` engine, producing bit-identical results
+            and message traffic.  Requires numpy.
     """
 
     uod: Rect
@@ -47,6 +53,8 @@ class MobiEyesConfig:
     eval_period_steps: int = 1
     static_beacon_steps: int = 10
     radio: RadioModel = field(default_factory=RadioModel)
+    engine: str = "reference"
+    eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -61,3 +69,11 @@ class MobiEyesConfig:
             raise ValueError("eval_period_steps must be at least 1")
         if self.static_beacon_steps < 0:
             raise ValueError("static_beacon_steps must be non-negative")
+        if self.engine not in ("reference", "vectorized"):
+            raise ValueError(f"engine must be 'reference' or 'vectorized', got {self.engine!r}")
+        # Cached once: the object-side evaluation period in hours, used by
+        # every safe-period comparison (the config is frozen, so the inputs
+        # cannot change after construction).
+        object.__setattr__(
+            self, "eval_period_hours", self.eval_period_steps * self.step_seconds / 3600.0
+        )

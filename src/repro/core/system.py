@@ -76,6 +76,12 @@ class MobiEyesSystem:
             if list(motion.objects) != list(objects):
                 raise ValueError("motion model must wrap the same object population")
             self.motion = motion
+        elif config.engine == "vectorized":
+            from repro.fastpath.motion import VectorizedMotionModel
+
+            self.motion = VectorizedMotionModel(
+                objects, config.uod, self.rng, velocity_changes_per_step=velocity_changes_per_step
+            )
         else:
             self.motion = MotionModel(
                 objects, config.uod, self.rng, velocity_changes_per_step=velocity_changes_per_step
@@ -85,7 +91,15 @@ class MobiEyesSystem:
             for obj in self.motion.objects
         }
         self._client_order = sorted(self.clients)
+        self._fastpath = None
+        if config.engine == "vectorized":
+            from repro.fastpath.runtime import FastpathRuntime
+
+            self._fastpath = FastpathRuntime(self)
+            # All coverage queries from here on go through the array index.
+            self.transport.coverage = self._fastpath.coverage
         self.track_accuracy = track_accuracy
+        self._last_error: float | None = None
         self.metrics = MetricsLog(
             step_seconds=config.step_seconds,
             population=len(self.motion),
@@ -146,6 +160,8 @@ class MobiEyesSystem:
 
     def oracle_results(self) -> dict[QueryId, frozenset[ObjectId]]:
         """Exact results computed from true positions (the ground truth)."""
+        if self._fastpath is not None:
+            return self._fastpath.oracle_results(self.server.installed_queries())
         return exact_results(self.motion.objects, self.server.installed_queries(), self.grid)
 
     def client(self, oid: ObjectId) -> MobiEyesClient:
@@ -170,12 +186,18 @@ class MobiEyesSystem:
         return [(obj.oid, obj.pos) for obj in self.motion.objects]
 
     def _movement_phase(self, clock: SimulationClock) -> None:
+        if self._fastpath is not None:
+            self._fastpath.movement_phase(clock)
+            return
         self.motion.advance(clock.step_hours, clock.now_hours)
         self.transport.begin_step(clock.step, self._positions())
 
     def _reporting_phase(self, clock: SimulationClock) -> None:
-        for oid in self._client_order:
-            self.clients[oid].report_phase(clock)
+        if self._fastpath is not None:
+            self._fastpath.reporting_phase(clock)
+        else:
+            for oid in self._client_order:
+                self.clients[oid].report_phase(clock)
         beacon = self.config.static_beacon_steps
         if (
             self.config.propagation.is_lazy
@@ -187,6 +209,9 @@ class MobiEyesSystem:
     def _evaluation_phase(self, clock: SimulationClock) -> None:
         if clock.step % self.config.eval_period_steps != 0:
             return
+        if self._fastpath is not None:
+            self._fastpath.evaluation_phase(clock)
+            return
         for oid in self._client_order:
             self.clients[oid].evaluation_phase(clock)
 
@@ -196,23 +221,50 @@ class MobiEyesSystem:
         delta = self._ledger_mark.delta(mark)
         self._ledger_mark = mark
 
-        lqt_total = 0
-        evaluated = 0
-        skipped_sp = 0
-        skipped_group = 0
-        processing = 0.0
-        for oid in self._client_order:
-            client = self.clients[oid]
-            lqt_total += len(client.lqt)
-            snapshot = client.stats.reset()
-            evaluated += snapshot.evaluated_queries
-            skipped_sp += snapshot.skipped_by_safe_period
-            skipped_group += snapshot.skipped_by_grouping
-            processing += snapshot.processing_seconds
+        if self._fastpath is not None:
+            # The batch evaluator tracks LQT sizes and the evaluation
+            # counters as system-wide aggregates; no per-client walk.
+            (
+                lqt_total,
+                evaluated,
+                skipped_sp,
+                skipped_group,
+                processing,
+            ) = self._fastpath.measurement_counts()
+        else:
+            lqt_total = 0
+            evaluated = 0
+            skipped_sp = 0
+            skipped_group = 0
+            processing = 0.0
+            # Inline aggregation (no snapshot objects): this loop touches
+            # every client every step, so it is on the measured hot path.
+            for oid in self._client_order:
+                client = self.clients[oid]
+                lqt_total += len(client.lqt)
+                stats = client.stats
+                if stats.evaluated_queries:
+                    evaluated += stats.evaluated_queries
+                    stats.evaluated_queries = 0
+                if stats.skipped_by_safe_period:
+                    skipped_sp += stats.skipped_by_safe_period
+                    stats.skipped_by_safe_period = 0
+                if stats.skipped_by_grouping:
+                    skipped_group += stats.skipped_by_grouping
+                    stats.skipped_by_grouping = 0
+                if stats.processing_seconds:
+                    processing += stats.processing_seconds
+                    stats.processing_seconds = 0.0
+                stats.uplinks_sent = 0
 
-        error = None
-        if self.track_accuracy:
+        # Accuracy is sampled on evaluation steps only: results change
+        # meaningfully when the objects re-evaluate their LQTs, and the
+        # oracle pass is by far the most expensive part of measurement.
+        # Intermediate steps carry the last sample forward.
+        error = self._last_error
+        if self.track_accuracy and clock.step % self.config.eval_period_steps == 0:
             error = mean_result_error(self.results(), self.oracle_results())
+            self._last_error = error
 
         self.metrics.append(
             StepStats(

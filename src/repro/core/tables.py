@@ -241,10 +241,39 @@ class LqtEntry:
 
 
 class LocalQueryTable:
-    """LQT: the queries a moving object currently monitors."""
+    """LQT: the queries a moving object currently monitors.
+
+    ``version`` counts structural changes (installs and removes).  In-place
+    mutation of an entry's fields does not bump it; consumers that cache
+    derived structure (the vectorized batch evaluator) key their caches on
+    the version and re-read the mutable fields every evaluation.
+
+    A consumer may also register a *watcher* (:meth:`watch`) to be told
+    about changes as they happen instead of polling the version:
+    ``lqt_changed(oid)`` fires on every install/remove, and
+    ``state_changed(oid, entry)`` fires when the owning client replaces an
+    entry's ``focal_state`` in place (see :meth:`notify_state`).  With no
+    watcher registered -- the reference engine -- the hooks reduce to one
+    ``None`` check.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[QueryId, LqtEntry] = {}
+        self.version = 0
+        self._watcher = None
+        self._watch_oid: ObjectId | None = None
+
+    def watch(self, watcher, oid: ObjectId) -> None:
+        """Register ``watcher`` to receive change notifications for this
+        table, identified by the owning object's ``oid``."""
+        self._watcher = watcher
+        self._watch_oid = oid
+
+    def notify_state(self, entry: LqtEntry) -> None:
+        """Tell the watcher (if any) that ``entry.focal_state`` was replaced."""
+        watcher = self._watcher
+        if watcher is not None:
+            watcher.state_changed(self._watch_oid, entry)
 
     def __contains__(self, qid: QueryId) -> bool:
         return qid in self._entries
@@ -256,13 +285,27 @@ class LocalQueryTable:
         """Look up a stored entry by its identifier."""
         return self._entries[qid]
 
+    def find(self, qid: QueryId) -> LqtEntry | None:
+        """Look up a stored entry, or ``None`` when absent (one lookup)."""
+        return self._entries.get(qid)
+
     def install(self, entry: LqtEntry) -> None:
         """Install (or replace) a query entry."""
         self._entries[entry.qid] = entry
+        self.version += 1
+        watcher = self._watcher
+        if watcher is not None:
+            watcher.lqt_changed(self._watch_oid)
 
     def remove(self, qid: QueryId) -> LqtEntry | None:
         """Remove a stored entry."""
-        return self._entries.pop(qid, None)
+        entry = self._entries.pop(qid, None)
+        if entry is not None:
+            self.version += 1
+            watcher = self._watcher
+            if watcher is not None:
+                watcher.lqt_changed(self._watch_oid)
+        return entry
 
     def entries(self) -> list[LqtEntry]:
         """Iterate over the stored entries."""

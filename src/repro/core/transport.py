@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Iterable, Protocol
 
 from repro.geometry import Point
-from repro.grid import CellIndex, Grid
+from repro.grid import CellIndex, CellRange, Grid
 from repro.mobility.model import ObjectId
 from repro.network.basestation import BaseStationId, BaseStationLayout
 from repro.network.loss import LossModel
@@ -172,7 +172,8 @@ class SimulatedTransport:
         inside the chosen stations' circles over-hear it (receive energy
         only).  Returns the number of broadcast messages sent.
         """
-        region = list(region)
+        if not isinstance(region, CellRange):
+            region = list(region)
         station_ids = self.layout.minimal_cover(region)
         if not station_ids:
             return 0

@@ -1,0 +1,269 @@
+"""Benchmark trajectory harness: reference vs. vectorized engine.
+
+``python -m repro bench`` runs a fixed scenario matrix through *both*
+engines on the identical workload (same seed, same objects, same queries)
+and writes a ``BENCH_<tag>.json`` artifact with per-phase wall time,
+steps/sec, and result-set hashes.  Matching hashes are the cheap in-artifact
+witness that the vectorized engine produced exactly the reference results;
+the exhaustive proof is the differential test suite
+(``tests/test_fastpath_differential.py``).
+
+Scenario matrix (full mode, paper scale -- Table 1's 10,000 objects and
+1,000 queries, 200 measured steps):
+
+- ``dense``: the headline hot-path scenario.  Query radii scaled 3x
+  (Fig. 12's ``radius_factor``) and speeds scaled to 0.1x so monitoring
+  regions are large and stable: LQT evaluation work dominates and the
+  per-object protocol chatter (which both engines share unchanged) stays
+  small.  This is where the batched evaluator shines.
+- ``paper``: untouched Table 1 defaults.  Deliberately the honest row --
+  the shared scalar protocol path (broadcast fan-out, uplink handling)
+  dominates at high mobility, so the end-to-end speedup is modest even
+  though the vectorized phases themselves are far faster.
+
+``--smoke`` shrinks both scenarios (``REPRO_SCALE``-aware, default 0.02)
+for CI; the artifact shape is identical.
+
+Timing protocol: each engine runs ``warmup_steps`` first (query install
+storm plus the first full evaluation), then the measured window is timed.
+Per-phase accumulators are zeroed after warmup, so ``phase_seconds`` and
+``steps_per_sec`` describe steady state only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core import MobiEyesConfig, MobiEyesSystem
+from repro.fastpath import numpy_available
+from repro.sim.engine import PHASE_ORDER
+from repro.sim.rng import SimulationRng
+from repro.workload import (
+    SimulationParameters,
+    bench_scale_from_env,
+    generate_workload,
+    paper_defaults,
+)
+
+DEFAULT_STEPS = 200
+DEFAULT_WARMUP = 5
+SMOKE_STEPS = 30
+SMOKE_WARMUP = 3
+SMOKE_SCALE = 0.02
+
+ENGINES = ("reference", "vectorized")
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One row of the benchmark matrix: a workload plus system knobs."""
+
+    name: str
+    description: str
+    params: SimulationParameters
+    steps: int = DEFAULT_STEPS
+    warmup: int = DEFAULT_WARMUP
+    grouping: bool = True
+    safe_period: bool = False
+    dead_reckoning_threshold: float = 0.0
+    track_accuracy: bool = False
+
+
+def dense_params(scale: float = 1.0) -> SimulationParameters:
+    """Large, slow-moving monitoring regions: the evaluation-bound workload."""
+    params = paper_defaults()
+    params = replace(
+        params,
+        radius_factor=3.0,
+        max_speeds=tuple(s * 0.1 for s in params.max_speeds),
+    )
+    return params.scaled(scale) if scale != 1.0 else params
+
+
+def scenario_matrix(smoke: bool = False) -> list[BenchScenario]:
+    """The fixed scenarios a bench run executes, in order."""
+    if smoke:
+        scale = bench_scale_from_env(default=SMOKE_SCALE)
+        steps, warmup = SMOKE_STEPS, SMOKE_WARMUP
+    else:
+        scale, steps, warmup = 1.0, DEFAULT_STEPS, DEFAULT_WARMUP
+    return [
+        BenchScenario(
+            name="dense",
+            description=(
+                "radius_factor=3, speeds x0.1: large stable monitoring "
+                "regions, LQT evaluation dominates"
+            ),
+            params=dense_params(scale),
+            steps=steps,
+            warmup=warmup,
+            dead_reckoning_threshold=1.0,
+        ),
+        BenchScenario(
+            name="paper",
+            description="untouched Table 1 defaults (protocol-bound at full mobility)",
+            params=paper_defaults().scaled(scale) if scale != 1.0 else paper_defaults(),
+            steps=steps,
+            warmup=warmup,
+            dead_reckoning_threshold=1.0,
+        ),
+    ]
+
+
+def _instrument(system: MobiEyesSystem) -> dict[str, float]:
+    """Wrap every engine phase callback with a wall-clock accumulator."""
+    totals = {name: 0.0 for name in PHASE_ORDER}
+    phases = system.engine._phases
+    for name in PHASE_ORDER:
+        wrapped = []
+        for callback in phases[name]:
+
+            def timed(clock, _cb=callback, _name=name):
+                started = time.perf_counter()
+                _cb(clock)
+                totals[_name] += time.perf_counter() - started
+
+            wrapped.append(timed)
+        phases[name] = wrapped
+    return totals
+
+
+def result_hash(system: MobiEyesSystem) -> str:
+    """Order-independent digest of every query's current result set."""
+    payload = sorted(
+        (int(qid), tuple(sorted(int(oid) for oid in members)))
+        for qid, members in system.results().items()
+    )
+    return hashlib.sha256(repr(payload).encode("ascii")).hexdigest()
+
+
+def run_engine(scenario: BenchScenario, engine: str) -> dict:
+    """Build, warm up, and time one engine on a scenario's workload."""
+    params = scenario.params
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        step_seconds=params.time_step_seconds,
+        base_station_side=params.base_station_side,
+        dead_reckoning_threshold=scenario.dead_reckoning_threshold,
+        grouping=scenario.grouping,
+        safe_period=scenario.safe_period,
+        engine=engine,
+    )
+    built = time.perf_counter()
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+        track_accuracy=scenario.track_accuracy,
+        warmup_steps=scenario.warmup,
+    )
+    system.install_queries(workload.query_specs)
+    build_seconds = time.perf_counter() - built
+
+    phase_seconds = _instrument(system)
+    started = time.perf_counter()
+    system.run(scenario.warmup)
+    warmup_seconds = time.perf_counter() - started
+    for name in phase_seconds:
+        phase_seconds[name] = 0.0
+
+    started = time.perf_counter()
+    system.run(scenario.steps)
+    wall_seconds = time.perf_counter() - started
+
+    return {
+        "engine": engine,
+        "build_seconds": round(build_seconds, 4),
+        "warmup_seconds": round(warmup_seconds, 4),
+        "wall_seconds": round(wall_seconds, 4),
+        "steps_per_sec": round(scenario.steps / wall_seconds, 4),
+        "ms_per_step": round(1000.0 * wall_seconds / scenario.steps, 3),
+        "phase_seconds": {name: round(spent, 4) for name, spent in phase_seconds.items()},
+        "result_hash": result_hash(system),
+        "uplink_messages": system.ledger.uplink_count,
+        "downlink_messages": system.ledger.downlink_count,
+    }
+
+
+def run_scenario(scenario: BenchScenario, log=print) -> dict:
+    """Run one scenario through every available engine."""
+    params = scenario.params
+    row: dict = {
+        "name": scenario.name,
+        "description": scenario.description,
+        "num_objects": params.num_objects,
+        "num_queries": params.num_queries,
+        "velocity_changes_per_step": params.velocity_changes_per_step,
+        "radius_factor": params.radius_factor,
+        "max_speeds": list(params.max_speeds),
+        "alpha": params.alpha,
+        "seed": params.seed,
+        "measured_steps": scenario.steps,
+        "warmup_steps": scenario.warmup,
+        "grouping": scenario.grouping,
+        "safe_period": scenario.safe_period,
+        "dead_reckoning_threshold": scenario.dead_reckoning_threshold,
+        "engines": {},
+    }
+    for engine in ENGINES:
+        if engine == "vectorized" and not numpy_available():
+            row["engines"][engine] = {"skipped": "numpy not installed"}
+            log(f"  {scenario.name}/{engine}: skipped (numpy not installed)")
+            continue
+        log(
+            f"  {scenario.name}/{engine}: {params.num_objects} objects, "
+            f"{params.num_queries} queries, {scenario.steps} steps ..."
+        )
+        result = run_engine(scenario, engine)
+        row["engines"][engine] = result
+        log(
+            f"  {scenario.name}/{engine}: {result['steps_per_sec']:.2f} steps/s "
+            f"({result['ms_per_step']:.1f} ms/step)"
+        )
+    ref = row["engines"].get("reference", {})
+    vec = row["engines"].get("vectorized", {})
+    if "steps_per_sec" in ref and "steps_per_sec" in vec:
+        row["speedup"] = round(vec["steps_per_sec"] / ref["steps_per_sec"], 3)
+        row["results_match"] = ref["result_hash"] == vec["result_hash"]
+    return row
+
+
+def run_bench(
+    tag: str | None = None,
+    smoke: bool = False,
+    out_dir: str | Path | None = None,
+    log=print,
+) -> Path:
+    """Run the full matrix and write ``BENCH_<tag>.json``; returns the path."""
+    if tag is None:
+        tag = "smoke" if smoke else "local"
+    # Fail fast on an unwritable destination -- before minutes of scenarios.
+    dest = Path(out_dir if out_dir is not None else Path.cwd())
+    dest.mkdir(parents=True, exist_ok=True)
+    scenarios = scenario_matrix(smoke=smoke)
+    log(f"bench: {len(scenarios)} scenario(s), mode={'smoke' if smoke else 'full'}")
+    report = {
+        "tag": tag,
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "numpy_available": numpy_available(),
+        "created_unix": int(time.time()),
+        "scenarios": [run_scenario(scenario, log=log) for scenario in scenarios],
+    }
+    path = dest / f"BENCH_{tag}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="ascii")
+    for row in report["scenarios"]:
+        if "speedup" in row:
+            match = "results match" if row["results_match"] else "RESULTS DIFFER"
+            log(f"  {row['name']}: vectorized {row['speedup']}x vs reference ({match})")
+    log(f"bench: wrote {path}")
+    return path

@@ -1,0 +1,137 @@
+"""Array-backed coverage index (vectorized engine).
+
+The reference :class:`~repro.core.transport.CoverageIndex` re-buckets every
+object into per-tile and per-cell dict lists each step.  The vectorized
+index instead sorts the population once per step with a *stable* argsort on
+the flattened tile / cell keys: a bucket is then a contiguous slice of the
+sorted arrays, found with two binary searches, and station-coverage checks
+become one array distance mask per tile row.
+
+Stability matters for more than determinism: within a bucket the stable
+sort preserves population order, which is exactly the order the reference
+index appends to its dict lists.  Receiver *sets* are therefore built with
+the same insertion sequence in both engines, so iterating them (e.g. the
+per-receiver loss draws in ``SimulatedTransport.broadcast``) consumes the
+random stream identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fastpath.store import ObjectStateStore
+from repro.grid import CellIndex, CellRange, Grid
+from repro.mobility.model import ObjectId
+from repro.network.basestation import BaseStationId, BaseStationLayout
+
+
+class VectorizedCoverageIndex:
+    """Drop-in for ``CoverageIndex`` backed by an :class:`ObjectStateStore`.
+
+    ``rebuild`` ignores the ``positions`` iterable (the store already holds
+    the positions) but keeps the signature so
+    :meth:`~repro.core.transport.SimulatedTransport.begin_step` works
+    unchanged.
+    """
+
+    def __init__(self, layout: BaseStationLayout, grid: Grid, store: ObjectStateStore) -> None:
+        self.layout = layout
+        self.grid = grid
+        self.store = store
+        np = store.np
+        self._empty = np.empty(0, dtype=np.int64)
+        self._tile_keys = self._empty
+        self._tile_x = self._empty
+        self._tile_y = self._empty
+        self._tile_oids = self._empty
+        self._cell_oids: list[ObjectId] = []
+        self._cell_rows = self._empty  # store rows in cell-sorted order
+        self._cell_keys = self._empty  # flattened cell keys, sorted
+
+    def rebuild(self, positions: Iterable[tuple[ObjectId, object]] = ()) -> None:
+        """Re-bucket the population for the new step (one argsort each way)."""
+        store = self.store
+        np = store.np
+        store.refresh_derived(self.grid, self.layout)
+
+        tile_key = store.tile_i * self.layout.tile_rows + store.tile_j
+        order = np.argsort(tile_key, kind="stable")
+        self._tile_keys = tile_key[order]
+        self._tile_x = store.x[order]
+        self._tile_y = store.y[order]
+        self._tile_oids = store.oids[order]
+
+        cell_key = store.cell_i * self.grid.n_rows + store.cell_j
+        order = np.argsort(cell_key, kind="stable")
+        self._cell_rows = order
+        self._cell_keys = cell_key[order]
+        self._cell_oids = store.oids[order].tolist()
+
+    def covered_by_stations(self, station_ids: Iterable[BaseStationId]) -> set[ObjectId]:
+        """Objects inside any of the stations' coverage circles."""
+        np = self.store.np
+        layout = self.layout
+        tile_rows = layout.tile_rows
+        keys = self._tile_keys
+        out: set[ObjectId] = set()
+        for bsid in station_ids:
+            coverage = layout.get(bsid).coverage
+            cx, cy = coverage.cx, coverage.cy
+            r_sq = coverage.r * coverage.r
+            ti, tj = layout.tile_of_station(bsid)
+            jlo = max(tj - 1, 0)
+            jhi = min(tj + 1, tile_rows - 1)
+            cols = [col for col in (ti - 1, ti, ti + 1) if 0 <= col < layout.tile_cols]
+            # One batched binary search for all candidate tile columns.
+            bounds = np.searchsorted(
+                keys,
+                [col * tile_rows + jlo for col in cols]
+                + [col * tile_rows + jhi + 1 for col in cols],
+            )
+            ncols = len(cols)
+            for k in range(ncols):
+                lo = int(bounds[k])
+                hi = int(bounds[k + ncols])
+                if lo == hi:
+                    continue
+                dx = self._tile_x[lo:hi] - cx
+                dy = self._tile_y[lo:hi] - cy
+                inside = dx * dx + dy * dy <= r_sq
+                out.update(self._tile_oids[lo:hi][inside].tolist())
+        return out
+
+    def in_cells(self, cells: Iterable[CellIndex]) -> set[ObjectId]:
+        """Objects currently located in the given grid cells."""
+        np = self.store.np
+        n_rows = self.grid.n_rows
+        keys = self._cell_keys
+        oids = self._cell_oids
+        if type(cells) is CellRange:
+            # Monitoring regions arrive as rectangular cell ranges: build
+            # the wanted keys with one outer sum, in the range's own
+            # iteration order (i-outer, j-inner) so the bucket visit order
+            # -- and with it the receiver-set insertion sequence -- is the
+            # same as iterating the range cell by cell.
+            ii = np.arange(cells.lo_i, cells.hi_i + 1, dtype=np.int64) * n_rows
+            jj = np.arange(cells.lo_j, cells.hi_j + 1, dtype=np.int64)
+            wanted = (ii[:, None] + jj).ravel()
+            ncells = int(wanted.size)
+            if not ncells:
+                return set()
+            bounds = np.searchsorted(keys, np.concatenate([wanted, wanted + 1]))
+        else:
+            flat = [i * n_rows + j for i, j in cells]
+            if not flat:
+                return set()
+            ncells = len(flat)
+            bounds = np.searchsorted(keys, flat + [k + 1 for k in flat])
+        # One batched binary search: each cell's bucket is the contiguous
+        # run [key, key + 1) of the sorted keys.
+        blist = bounds.tolist()
+        out: set[ObjectId] = set()
+        for k in range(ncells):
+            lo = blist[k]
+            hi = blist[k + ncells]
+            if lo != hi:
+                out.update(oids[lo:hi])
+        return out

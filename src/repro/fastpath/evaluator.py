@@ -1,0 +1,612 @@
+"""Batched LQT evaluation (vectorized engine).
+
+The reference engine evaluates each object's local query table entry by
+entry inside :meth:`~repro.core.client.MobiEyesClient.evaluation_phase`.
+The :class:`BatchEvaluator` instead keeps *every* LQT entry system-wide in
+one persistent structure-of-arrays **arena**, computes the geometry --
+dead-reckoned focal positions, ``dist^2`` against ``reach^2``, circle
+containment, safe-period bounds, and enter/leave deltas -- as flat array
+expressions once per evaluation step, and dispatches the resulting
+differential reports through the unchanged client/transport message path.
+
+The arena is maintained event-driven rather than rebuilt per evaluation:
+
+- every client's :class:`~repro.core.tables.LocalQueryTable` notifies the
+  evaluator on install/remove (``lqt_changed``); the client's entries are
+  then *tombstoned* (``alive`` mask cleared) and re-appended at the arena
+  tail on the next evaluation.  Untouched clients cost nothing.
+- when the dead fraction grows past the live population the arena is
+  compacted in place (one boolean-index copy; block offsets are plain
+  integers patched in a single pass).
+- in-place replacement of an entry's ``focal_state`` -- velocity broadcasts
+  and existing-entry refreshes, which do *not* bump the table version --
+  fires ``state_changed``; when the entry is the first of its focal group
+  the cached per-group dead-reckoning basis (position, velocity, record
+  time) is rewritten in place.  Other in-place mutations need no hook:
+  ``ptm`` is re-read per evaluation when safe periods are on, ``is_target``
+  is dual-written by the delta pass itself, ``focal_max_speed`` rewrites
+  always carry the focal object's immutable ``max_speed``, and
+  ``mon_region`` is not consulted by evaluation.
+
+Exactness contract (checked by the differential test suite): for any
+configuration the batch pass produces the same per-entry ``is_target`` and
+``ptm`` updates and the same uplink messages in the same order as running
+the reference ``evaluation_phase`` client by client.  The key observations
+that make a system-wide batch legal:
+
+- evaluation-phase uplinks (``ResultChangeReport``) never trigger downlink
+  traffic, so one client's reports cannot influence another client's
+  evaluation within the same phase;
+- within a focal group the reference predicts the focal position from the
+  *first non-skipped* entry's motion state and reuses it for the group
+  (with safe periods off that is always the first entry, which is what the
+  cached basis columns hold);
+- entries are sorted by reach descending, so the grouping short-circuit
+  ("beyond a larger region's reach implies outside all smaller ones") is a
+  prefix property computable with a segmented cumulative sum;
+- reports are dispatched per client in ascending object id -- the
+  reference processing order -- so loss-model draws consume the random
+  stream identically.
+
+The evaluation stats counters (``evaluated_queries``,
+``skipped_by_safe_period``, ``skipped_by_grouping``) are kept as
+system-wide aggregates on the evaluator rather than per-client counters;
+:meth:`~repro.fastpath.runtime.FastpathRuntime.drain_eval_counts` folds
+them into the per-step metrics, which is where the reference engine's
+per-client counters get summed anyway.
+
+Static (fixed-region) entries take the scalar
+``_process_static_entries`` path in their original stream position; their
+regions are arbitrary shapes and there are typically few of them.
+"""
+
+from __future__ import annotations
+
+from itertools import compress
+from typing import TYPE_CHECKING
+
+from repro.fastpath import require_numpy
+from repro.geometry import Circle, Point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import MobiEyesClient
+    from repro.core.config import MobiEyesConfig
+    from repro.core.tables import LqtEntry
+    from repro.fastpath.store import ObjectStateStore
+    from repro.mobility.model import ObjectId
+
+
+class _Block:
+    """Arena footprint of one client's local query table.
+
+    ``ent_lo``/``g_lo`` are the client's first entry / group slot; its
+    ``n`` entries and ``n_g`` moving groups are contiguous from there.
+    ``units`` preserves the client's stream order -- ``("m", i)`` is the
+    i-th moving group, ``("s", i)`` the i-th static group -- which drives
+    report emission.  ``first_local`` maps the qid of each moving group's
+    first entry to the group's local index, for the focal-state hook.
+    """
+
+    __slots__ = (
+        "ent_lo",
+        "n",
+        "g_lo",
+        "n_g",
+        "n_static",
+        "units",
+        "keys",
+        "static_units",
+        "first_local",
+    )
+
+
+class BatchEvaluator:
+    """One-shot batched evaluation of all clients' local query tables."""
+
+    def __init__(self, config: "MobiEyesConfig", store: "ObjectStateStore") -> None:
+        np = require_numpy()
+        self.np = np
+        self.config = config
+        self.store = store
+        self.grouping = config.grouping
+        self.sp_on = config.safe_period
+        # System-wide aggregates, drained into the step metrics.
+        self.evaluated_queries = 0
+        self.skipped_by_safe_period = 0
+        self.skipped_by_grouping = 0
+        # Entry-dimension arena columns (amortized-doubling capacity).
+        self._ecap = 1024
+        self._gcap = 512
+        f64 = np.float64
+        i64 = np.int64
+        self.e_reach = np.empty(self._ecap, f64)
+        self.e_fmax = np.empty(self._ecap, f64)
+        self.e_own = np.empty(self._ecap, f64)  # owner max speed (safe period)
+        self.e_circ = np.empty(self._ecap, bool)
+        self.e_targ = np.empty(self._ecap, bool)
+        self.e_alive = np.empty(self._ecap, bool)
+        self.e_row = np.empty(self._ecap, i64)  # owner's store row
+        self.e_group = np.empty(self._ecap, i64)
+        self.e_refs: list = []  # LqtEntry per slot, aligned with the columns
+        # Group-dimension columns.
+        self.g_start = np.empty(self._gcap, i64)
+        self.g_alive = np.empty(self._gcap, bool)
+        self.g_oid = np.empty(self._gcap, i64)  # owning client's object id
+        # Cached dead-reckoning basis of the group's first entry.
+        self.g_sx = np.empty(self._gcap, f64)
+        self.g_sy = np.empty(self._gcap, f64)
+        self.g_svx = np.empty(self._gcap, f64)
+        self.g_svy = np.empty(self._gcap, f64)
+        self.g_srec = np.empty(self._gcap, f64)
+        self.n_ent = 0
+        self.n_grp = 0
+        self.dead_ent = 0
+        # Compact once this many slots are tombstoned *and* the dead
+        # outnumber the alive 2:1; tests lower it to force compaction on
+        # tiny workloads.
+        self.compact_threshold = 2048
+        self.static_ent = 0  # live static entries across all blocks
+        self._blocks: dict = {}
+        self._stale: set = set()
+        self._static_oids: set = set()
+        self._clients: dict = {}
+
+    # ----------------------------------------------------------- watching
+
+    def attach(self, clients: "list[MobiEyesClient]") -> None:
+        """Register as watcher of every client's LQT.
+
+        Clients that already hold entries (installed before attachment) are
+        marked stale so the first evaluation picks them up.
+        """
+        for client in clients:
+            self._clients[client.oid] = client
+            client.lqt.watch(self, client.oid)
+            if len(client.lqt):
+                self._stale.add(client.oid)
+
+    def lqt_changed(self, oid: "ObjectId") -> None:
+        """Table hook: an install/remove invalidated the client's block."""
+        self._stale.add(oid)
+
+    def state_changed(self, oid: "ObjectId", entry: "LqtEntry") -> None:
+        """Table hook: ``entry.focal_state`` was replaced in place."""
+        if oid in self._stale:
+            return  # the block will be rebuilt with the fresh state anyway
+        block = self._blocks.get(oid)
+        if block is None:
+            return
+        li = block.first_local.get(entry.qid)
+        if li is None:
+            return  # not a group's prediction basis
+        g = block.g_lo + li
+        state = entry.focal_state
+        pos = state.pos
+        vel = state.vel
+        self.g_sx[g] = pos.x
+        self.g_sy[g] = pos.y
+        self.g_svx[g] = vel.x
+        self.g_svy[g] = vel.y
+        self.g_srec[g] = state.recorded_at
+
+    # -------------------------------------------------- arena maintenance
+
+    def _grow_ent(self, need: int) -> None:
+        np = self.np
+        cap = self._ecap
+        while cap < need:
+            cap *= 2
+        n = self.n_ent
+        for name in (
+            "e_reach",
+            "e_fmax",
+            "e_own",
+            "e_circ",
+            "e_targ",
+            "e_alive",
+            "e_row",
+            "e_group",
+        ):
+            old = getattr(self, name)
+            new = np.empty(cap, old.dtype)
+            new[:n] = old[:n]
+            setattr(self, name, new)
+        self._ecap = cap
+
+    def _grow_grp(self, need: int) -> None:
+        np = self.np
+        cap = self._gcap
+        while cap < need:
+            cap *= 2
+        n = self.n_grp
+        for name in ("g_start", "g_alive", "g_oid", "g_sx", "g_sy", "g_svx", "g_svy", "g_srec"):
+            old = getattr(self, name)
+            new = np.empty(cap, old.dtype)
+            new[:n] = old[:n]
+            setattr(self, name, new)
+        self._gcap = cap
+
+    def _refresh(self) -> None:
+        """Tombstone and re-append the blocks of every stale client."""
+        stale = self._stale
+        if not stale:
+            return
+        blocks = self._blocks
+        # Focal-state params seen during this refresh, keyed by state
+        # identity: a broadcast shares one MotionState across its
+        # receivers, so most rebuilds hit the cache.
+        seen: dict[int, tuple] = {}
+        for oid in stale:
+            block = blocks.pop(oid, None)
+            if block is not None:
+                lo = block.ent_lo
+                self.e_alive[lo : lo + block.n] = False
+                self.g_alive[block.g_lo : block.g_lo + block.n_g] = False
+                self.dead_ent += block.n
+                if block.static_units:
+                    self._static_oids.discard(oid)
+                    self.static_ent -= block.n_static
+            client = self._clients[oid]
+            if len(client.lqt):
+                self._append(client, seen)
+        stale.clear()
+
+    def lqt_total(self) -> int:
+        """Total LQT entries system-wide, without forcing a refresh.
+
+        Live arena entries plus static entries, corrected by the pending
+        (stale) clients' current-vs-cached table sizes.
+        """
+        total = self.n_ent - self.dead_ent + self.static_ent
+        for oid in self._stale:
+            block = self._blocks.get(oid)
+            cached = (block.n + block.n_static) if block is not None else 0
+            total += len(self._clients[oid].lqt) - cached
+        return total
+
+    def _append(self, client: "MobiEyesClient", seen: dict) -> None:
+        """Append the client's current LQT at the arena tail."""
+        np = self.np
+        lqt = client.lqt
+        refs: list = []
+        grp_first: list = []
+        counts: list[int] = []
+        keys: list = []
+        units: list[tuple[str, int]] = []
+        statics: list[list] = []
+        if self.grouping:
+            # Inline by_focal(): group by focal oid in insertion order,
+            # reach-descending (stable) within each group.
+            groups: dict = {}
+            for entry in lqt._entries.values():
+                g = groups.get(entry.oid)
+                if g is None:
+                    groups[entry.oid] = [entry]
+                else:
+                    g.append(entry)
+            for group in groups.values():
+                if len(group) > 1:
+                    group.sort(key=lambda e: -e.reach)
+            streams = groups.items()
+        else:
+            streams = ((entry.oid, (entry,)) for entry in lqt._entries.values())
+        for key, group in streams:
+            if group[0].is_static:
+                units.append(("s", len(statics)))
+                statics.append(list(group))
+                continue
+            units.append(("m", len(counts)))
+            counts.append(len(group))
+            keys.append(key)
+            grp_first.append(group[0])
+            refs.extend(group)
+
+        n = len(refs)
+        n_g = len(counts)
+        lo = self.n_ent
+        g_lo = self.n_grp
+        if lo + n > self._ecap:
+            self._grow_ent(lo + n)
+        if g_lo + n_g > self._gcap:
+            self._grow_grp(g_lo + n_g)
+        if n:
+            hi = lo + n
+            gh = g_lo + n_g
+            self.e_reach[lo:hi] = [e.reach for e in refs]
+            self.e_fmax[lo:hi] = [e.focal_max_speed for e in refs]
+            self.e_own[lo:hi] = client.obj.max_speed
+            # Within-reach implies inside only when the reach IS the circle
+            # radius (the origin-bound circles the query layer validates);
+            # anything else takes the scalar containment fallback.
+            self.e_circ[lo:hi] = [
+                type(e.region) is Circle and e.reach == e.region.r for e in refs
+            ]
+            self.e_targ[lo:hi] = [e.is_target for e in refs]
+            self.e_row[lo:hi] = self.store.row_of[client.oid]
+            self.e_alive[lo:hi] = True
+            if n_g == n:  # all groups are singletons (the common case)
+                slots = np.arange(lo, hi, dtype=np.int64)
+                self.e_group[lo:hi] = np.arange(g_lo, gh, dtype=np.int64)
+                self.g_start[g_lo:gh] = slots
+            else:
+                carr = np.asarray(counts, dtype=np.int64)
+                gofs = np.zeros(n_g, dtype=np.int64)
+                np.cumsum(carr[:-1], out=gofs[1:])
+                self.e_group[lo:hi] = np.repeat(
+                    np.arange(g_lo, gh, dtype=np.int64), carr
+                )
+                self.g_start[g_lo:gh] = lo + gofs
+            self.g_alive[g_lo:gh] = True
+            self.g_oid[g_lo:gh] = client.oid
+            params: list[tuple] = []
+            add = params.append
+            for e in grp_first:
+                state = e.focal_state
+                t = seen.get(id(state))
+                if t is None:
+                    pos = state.pos
+                    vel = state.vel
+                    t = (pos.x, pos.y, vel.x, vel.y, state.recorded_at)
+                    seen[id(state)] = t
+                add(t)
+            sx, sy, svx, svy, srec = zip(*params)
+            self.g_sx[g_lo:gh] = sx
+            self.g_sy[g_lo:gh] = sy
+            self.g_svx[g_lo:gh] = svx
+            self.g_svy[g_lo:gh] = svy
+            self.g_srec[g_lo:gh] = srec
+            self.e_refs.extend(refs)
+
+        block = _Block()
+        block.ent_lo = lo
+        block.n = n
+        block.g_lo = g_lo
+        block.n_g = n_g
+        block.n_static = sum(len(group) for group in statics)
+        block.units = units
+        block.keys = keys
+        block.static_units = statics
+        block.first_local = {e.qid: j for j, e in enumerate(grp_first)}
+        self._blocks[client.oid] = block
+        if statics:
+            self._static_oids.add(client.oid)
+            self.static_ent += block.n_static
+        self.n_ent = lo + n
+        self.n_grp = g_lo + n_g
+
+    def _compact(self) -> None:
+        """Squeeze tombstoned slots out of the arena (order-preserving)."""
+        np = self.np
+        n = self.n_ent
+        g = self.n_grp
+        ea = self.e_alive[:n]
+        ga = self.g_alive[:g]
+        ecum = np.cumsum(ea)
+        gcum = np.cumsum(ga)
+        new_n = int(ecum[-1]) if n else 0
+        new_g = int(gcum[-1]) if g else 0
+        for name in ("e_reach", "e_fmax", "e_own", "e_circ", "e_targ", "e_row"):
+            arr = getattr(self, name)
+            arr[:new_n] = arr[:n][ea]
+        compact_groups = self.e_group[:n][ea]
+        self.e_group[:new_n] = gcum[compact_groups] - 1
+        alive_starts = self.g_start[:g][ga]
+        self.g_start[:new_g] = ecum[alive_starts] - 1
+        for name in ("g_oid", "g_sx", "g_sy", "g_svx", "g_svy", "g_srec"):
+            arr = getattr(self, name)
+            arr[:new_g] = arr[:g][ga]
+        # ``ea`` is a *view* of ``e_alive``: consume it before the alive
+        # flags are reset below, or the compress mask is corrupted.
+        self.e_refs = list(compress(self.e_refs, ea.tolist()))
+        self.e_alive[:new_n] = True
+        self.g_alive[:new_g] = True
+        ecum_l = ecum  # new index of an alive slot i is ecum[i] - 1
+        for block in self._blocks.values():
+            if block.n:
+                block.ent_lo = int(ecum_l[block.ent_lo]) - 1
+            if block.n_g:
+                block.g_lo = int(gcum[block.g_lo]) - 1
+        self.n_ent = new_n
+        self.n_grp = new_g
+        self.dead_ent = 0
+
+    # --------------------------------------------------------------- run
+
+    def run(self, now: float) -> None:
+        """Evaluate every client's LQT and uplink differential reports."""
+        self._refresh()
+        if (
+            self.dead_ent > self.compact_threshold
+            and self.dead_ent * 2 > self.n_ent - self.dead_ent
+        ):
+            self._compact()
+
+        dirty: set = set()
+        static_changes: dict[tuple, dict] = {}
+        blocks = self._blocks
+        clients = self._clients
+        # Static (fixed-region) groups: scalar path, every evaluation.
+        for oid in sorted(self._static_oids):
+            client = clients[oid]
+            for si, group in enumerate(blocks[oid].static_units):
+                changes = client._process_static_entries(group, now)
+                if changes:
+                    static_changes[(oid, si)] = changes
+                    dirty.add(oid)
+
+        group_changes: dict[int, dict] = {}
+        if self.n_ent:
+            self._batch(now, dirty, group_changes)
+
+        if not dirty:
+            return
+
+        # ---------------------------------------------------- dispatch
+        # Reference emission: per client (ascending oid), merge unit
+        # changes into a dict keyed by focal object (insertion-ordered,
+        # following the unit stream), then send one report per focal group
+        # (grouping) or one per query (no grouping).
+        grouping = self.grouping
+        for oid in sorted(dirty):
+            block = blocks[oid]
+            client = clients[oid]
+            g0 = block.g_lo
+            by_focal: dict = {}
+            for kind, li in block.units:
+                if kind == "m":
+                    changes = group_changes.get(g0 + li)
+                    key = block.keys[li]
+                else:
+                    changes = static_changes.get((oid, li))
+                    key = None
+                if changes:
+                    by_focal.setdefault(key, {}).update(changes)
+            if grouping:
+                for changed in by_focal.values():
+                    client._send_result_changes(changed)
+            else:
+                for changed in by_focal.values():
+                    for qid, flag in changed.items():
+                        client._send_result_changes({qid: flag})
+
+    # ------------------------------------------------------------- batch
+
+    def _batch(self, now: float, dirty: set, group_changes: dict) -> None:
+        """Array pass over the arena; applies entry updates in place."""
+        np = self.np
+        i64 = np.int64
+        n = self.n_ent
+        n_g = self.n_grp
+        alive = self.e_alive[:n]
+        reach = self.e_reach[:n]
+        e_group = self.e_group[:n]
+        g_start = self.g_start[:n_g]
+        rows = self.e_row[:n]
+        ox = self.store.x[rows]
+        oy = self.store.y[rows]
+
+        # Safe-period skips and the per-group prediction basis: the focal
+        # position comes from the first *non-skipped* entry's motion state,
+        # so with safe periods on the basis is re-derived every evaluation;
+        # with them off it is always the first entry, served by the cached
+        # group columns (maintained by the rebuilds and the state hook).
+        if self.sp_on:
+            refs = self.e_refs
+            ptm = np.fromiter((e.ptm for e in refs), np.float64, count=n)
+            skip = (ptm > now) & alive
+            self.skipped_by_safe_period += int(skip.sum())
+            valid = alive & ~skip
+            pick = np.where(valid, np.arange(n, dtype=i64), n)
+            g_first = np.minimum.reduceat(pick, g_start)
+            live_groups = np.nonzero(self.g_alive[:n_g] & (g_first < n))[0]
+            px_g = np.zeros(n_g)
+            py_g = np.zeros(n_g)
+            if live_groups.size:
+                seen: dict[int, int] = {}
+                sidx: list[int] = []
+                xs: list[float] = []
+                ys: list[float] = []
+                vxs: list[float] = []
+                vys: list[float] = []
+                recs: list[float] = []
+                for ei in g_first[live_groups].tolist():
+                    state = refs[ei].focal_state
+                    k = seen.get(id(state))
+                    if k is None:
+                        k = len(xs)
+                        seen[id(state)] = k
+                        pos = state.pos
+                        vel = state.vel
+                        xs.append(pos.x)
+                        ys.append(pos.y)
+                        vxs.append(vel.x)
+                        vys.append(vel.y)
+                        recs.append(state.recorded_at)
+                    sidx.append(k)
+                si = np.asarray(sidx, dtype=i64)
+                # Exact reference operation order: dt = now - tm, then
+                # pos + vel * dt, elementwise in float64.
+                sdt = now - np.asarray(recs)[si]
+                px_g[live_groups] = np.asarray(xs)[si] + np.asarray(vxs)[si] * sdt
+                py_g[live_groups] = np.asarray(ys)[si] + np.asarray(vys)[si] * sdt
+        else:
+            skip = None
+            valid = alive
+            g_dt = now - self.g_srec[:n_g]
+            px_g = self.g_sx[:n_g] + self.g_svx[:n_g] * g_dt
+            py_g = self.g_sy[:n_g] + self.g_svy[:n_g] * g_dt
+
+        dx = ox - px_g[e_group]
+        dy = oy - py_g[e_group]
+        dist_sq = dx * dx + dy * dy
+        beyond = dist_sq > reach * reach
+
+        if self.grouping:
+            # Segmented prefix count of (non-skipped) `beyond` strictly
+            # before each entry within its group: any hit latches every
+            # later (smaller-reach) entry of the group as implied-outside.
+            # Tombstoned groups compute garbage that never escapes their
+            # own segment and is masked out below.
+            b = beyond.astype(i64) if skip is None else (beyond & ~skip).astype(i64)
+            excl = np.cumsum(b) - b
+            before = excl - excl[g_start[e_group]]
+            implied = (before > 0) & valid
+        else:
+            implied = np.zeros(n, dtype=bool)
+        checked = valid & ~implied
+
+        # Containment: for origin-bound circles (the paper's default) the
+        # reach equals the radius, so a checked entry within reach is
+        # inside by the same squared-space comparison the reference makes.
+        inside = checked & ~beyond
+        noncircle = inside & ~self.e_circ[:n]
+        if noncircle.any():
+            predicted_cache: dict[int, Point] = {}
+            g_oid = self.g_oid
+            e_refs = self.e_refs
+            clients = self._clients
+            for i in np.nonzero(noncircle)[0].tolist():
+                g = int(e_group[i])
+                predicted = predicted_cache.get(g)
+                if predicted is None:
+                    predicted = Point(float(px_g[g]), float(py_g[g]))
+                    predicted_cache[g] = predicted
+                client = clients[int(g_oid[g])]
+                inside[i] = client._contains(e_refs[i], predicted)
+
+        self.evaluated_queries += int(checked.sum())
+        if self.grouping:
+            self.skipped_by_grouping += int(implied.sum())
+
+        if self.sp_on:
+            outside = ~inside & valid
+            if outside.any():
+                gap = np.sqrt(dist_sq) - reach
+                closing = self.e_own[:n] + self.e_fmax[:n]
+                with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                    sp = np.where(
+                        gap <= 0.0,
+                        0.0,
+                        np.where(closing == 0.0, np.inf, gap / closing),
+                    )
+                write = outside & (sp > self.config.eval_period_hours)
+                if write.any():
+                    idxs = np.nonzero(write)[0]
+                    values = (now + sp[idxs]).tolist()
+                    for i, value in zip(idxs.tolist(), values):
+                        refs[i].ptm = value
+
+        delta = (inside != self.e_targ[:n]) & valid
+        if delta.any():
+            idxs = np.nonzero(delta)[0]
+            flags = inside[idxs].tolist()
+            gsel = e_group[idxs].tolist()
+            oids = self.g_oid[e_group[idxs]].tolist()
+            e_refs = self.e_refs
+            e_targ = self.e_targ
+            for i, g, flag, oid in zip(idxs.tolist(), gsel, flags, oids):
+                entry = e_refs[i]
+                entry.is_target = flag
+                e_targ[i] = flag
+                group_changes.setdefault(g, {})[entry.qid] = flag
+                dirty.add(oid)

@@ -1,0 +1,185 @@
+"""Vectorized ground-truth oracle (``exact_results`` on the fast path).
+
+Mirrors :func:`repro.metrics.accuracy.exact_results` exactly: each query's
+absolute region is resolved from the true focal position, the candidate set
+is the cell-bucketed population restricted to the cells the region's
+bounding rectangle touches, and membership uses the same IEEE comparisons
+as ``Circle.contains`` / ``Rect.contains``.
+
+The whole pass is batched across queries: the per-query cell ranges become
+one segmented binary search against the cell-sorted key array, the
+candidate rows come out of one segmented ``arange`` gather, and circle /
+rectangle membership is a single masked array expression over all
+(query, candidate) pairs.  Only exotic region shapes and non-trivial
+property filters drop to scalar predicates, on their (few) candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.query import MovingQuery, QueryId, TrueFilter
+from repro.fastpath.coverage import VectorizedCoverageIndex
+from repro.geometry import Circle, Rect
+from repro.grid import Grid
+from repro.mobility.model import ObjectId
+
+
+def exact_results_fast(
+    coverage: VectorizedCoverageIndex,
+    queries: Iterable[MovingQuery],
+    grid: Grid,
+) -> dict[QueryId, frozenset[ObjectId]]:
+    """Evaluate every query against true positions using the store arrays.
+
+    ``coverage`` must have been rebuilt for the current positions (the
+    transport does this at the start of every step).
+    """
+    store = coverage.store
+    np = store.np
+    n_rows = grid.n_rows
+    keys = coverage._cell_keys
+    cell_rows = coverage._cell_rows
+    objects = store.objects
+    row_of = store.row_of
+
+    results: dict[QueryId, frozenset[ObjectId]] = {}
+    qs: list[MovingQuery] = []
+    regions: list = []
+    kind: list[int] = []  # 0 = circle, 1 = rect, 2 = scalar fallback
+    p0: list[float] = []
+    p1: list[float] = []
+    p2: list[float] = []
+    p3: list[float] = []
+    lo_i: list[int] = []
+    hi_i: list[int] = []
+    lo_j: list[int] = []
+    hi_j: list[int] = []
+    for query in queries:
+        if query.oid is None:
+            region = query.region
+        else:
+            focal_row = row_of.get(query.oid, -1)
+            if focal_row < 0:
+                results[query.qid] = frozenset()
+                continue
+            region = query.region_at(objects[focal_row].pos)
+        crange = grid.cells_intersecting(region.bounding_rect())
+        qs.append(query)
+        regions.append(region)
+        lo_i.append(crange.lo_i)
+        hi_i.append(crange.hi_i)
+        lo_j.append(crange.lo_j)
+        hi_j.append(crange.hi_j)
+        if type(region) is Circle:
+            kind.append(0)
+            p0.append(region.cx)
+            p1.append(region.cy)
+            p2.append(region.r)
+            p3.append(0.0)
+        elif type(region) is Rect:
+            kind.append(1)
+            p0.append(region.lx)
+            p1.append(region.ux)
+            p2.append(region.ly)
+            p3.append(region.uy)
+        else:
+            kind.append(2)
+            p0.append(0.0)
+            p1.append(0.0)
+            p2.append(0.0)
+            p3.append(0.0)
+
+    nq = len(qs)
+    if not nq:
+        return results
+
+    i64 = np.int64
+    loi = np.asarray(lo_i, dtype=i64)
+    loj = np.asarray(lo_j, dtype=i64)
+    hij = np.asarray(hi_j, dtype=i64)
+    ncols = np.asarray(hi_i, dtype=i64) - loi + 1
+    total_cols = int(ncols.sum())
+    qcol = np.repeat(np.arange(nq, dtype=i64), ncols)
+    colstart = np.zeros(nq, dtype=i64)
+    np.cumsum(ncols[:-1], out=colstart[1:])
+    col = loi[qcol] + (np.arange(total_cols, dtype=i64) - colstart[qcol])
+    # Each candidate column of a query's cell range is one contiguous run
+    # of the cell-sorted keys: [col * n_rows + lo_j, col * n_rows + hi_j].
+    klo = col * n_rows + loj[qcol]
+    khi = col * n_rows + hij[qcol] + 1
+    bounds = np.searchsorted(keys, np.concatenate([klo, khi]))
+    lo = bounds[:total_cols]
+    hi = bounds[total_cols:]
+    lens = hi - lo
+    n_cand = int(lens.sum())
+
+    kind_arr = np.asarray(kind, dtype=i64)
+    oids = store.oids
+    if n_cand:
+        candstart = np.zeros(total_cols, dtype=i64)
+        np.cumsum(lens[:-1], out=candstart[1:])
+        idx = (
+            np.arange(n_cand, dtype=i64)
+            - np.repeat(candstart, lens)
+            + np.repeat(lo, lens)
+        )
+        rows = cell_rows[idx]
+        qcand = np.repeat(qcol, lens)
+        x = store.x[rows]
+        y = store.y[rows]
+        kc = kind_arr[qcand]
+        a0 = np.asarray(p0)[qcand]
+        a1 = np.asarray(p1)[qcand]
+        a2 = np.asarray(p2)[qcand]
+        a3 = np.asarray(p3)[qcand]
+        dx = x - a0
+        dy = y - a1
+        circle_mask = dx * dx + dy * dy <= a2 * a2
+        rect_mask = (a0 <= x) & (x <= a1) & (a2 <= y) & (y <= a3)
+        mask = np.where(kc == 0, circle_mask, rect_mask) & (kc != 2)
+        hits = rows[mask]
+        qh = qcand[mask]
+        # qcand is ascending, so each query's hits are one contiguous run.
+        qbounds = np.searchsorted(qh, np.arange(nq + 1, dtype=i64))
+        hit_list = hits.tolist()
+        hit_oids = oids[hits].tolist()
+        qa = qbounds.tolist()
+    else:
+        hit_list = []
+        hit_oids = []
+        qa = [0] * (nq + 1)
+
+    for qi, query in enumerate(qs):
+        if kind[qi] == 2:
+            # Exotic region shape: scalar containment on the candidate rows.
+            region = regions[qi]
+            members = set()
+            query_filter = query.filter
+            trivial = type(query_filter) is TrueFilter
+            for ci in range(total_cols):
+                if int(qcol[ci]) != qi:
+                    continue
+                for r in cell_rows[int(lo[ci]) : int(hi[ci])].tolist():
+                    obj = objects[r]
+                    if not region.contains(obj.pos):
+                        continue
+                    if obj.oid == query.oid:
+                        continue
+                    if trivial or query_filter.matches(obj.props):
+                        members.add(obj.oid)
+            results[query.qid] = frozenset(members)
+            continue
+        a, b = qa[qi], qa[qi + 1]
+        query_filter = query.filter
+        if type(query_filter) is TrueFilter:
+            members = set(hit_oids[a:b])
+            members.discard(query.oid)
+        else:
+            members = set()
+            for pos in range(a, b):
+                obj = objects[hit_list[pos]]
+                if obj.oid != query.oid and query_filter.matches(obj.props):
+                    members.add(obj.oid)
+        results[query.qid] = frozenset(members)
+    return results

@@ -1,0 +1,175 @@
+"""Engine glue: drives the vectorized kernels inside the phase loop.
+
+:class:`FastpathRuntime` owns the shared :class:`ObjectStateStore`, the
+vectorized coverage index (installed onto the transport in place of the
+dict-based one), and the batch evaluator, and implements the three hot
+phases of :class:`~repro.core.system.MobiEyesSystem`:
+
+- *movement*: array kinematics (or a custom scalar motion model followed by
+  a whole-store sync), then the transport's step rollover.
+- *reporting*: a vectorized cell-crossing scan picks the candidate objects
+  (cell changed, or focal and therefore subject to the dead-reckoning
+  check); only candidates run their scalar protocol reactions, strictly in
+  ascending object-id order so mid-phase broadcasts interleave exactly as
+  in the reference loop.  Non-candidates provably do nothing in the
+  reference loop, so skipping them is unobservable.
+- *evaluation*: one system-wide :class:`BatchEvaluator` pass.
+
+The reporting scan relies on a protocol invariant: a client's ``has_mq``
+flag tracks server-side FOT membership exactly, because the
+``FocalRoleNotification`` transitions are synchronous and loss-exempt.
+``check_invariants`` in the test suite asserts FOT consistency each step.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.fastpath.coverage import VectorizedCoverageIndex
+from repro.fastpath.evaluator import BatchEvaluator
+from repro.fastpath.motion import VectorizedMotionModel
+from repro.fastpath.oracle import exact_results_fast
+from repro.fastpath.store import ObjectStateStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.query import MovingQuery, QueryId
+    from repro.core.system import MobiEyesSystem
+    from repro.mobility.model import ObjectId
+    from repro.sim.clock import SimulationClock
+
+
+class FastpathRuntime:
+    """Vectorized phase implementations for one MobiEyes system."""
+
+    def __init__(self, system: "MobiEyesSystem") -> None:
+        self.system = system
+        motion = system.motion
+        if isinstance(motion, VectorizedMotionModel):
+            self.store = motion.store
+            self._sync_after_advance = False
+        else:
+            # A custom scalar motion model stays authoritative; mirror its
+            # population into the store after every advance.
+            self.store = ObjectStateStore(motion.objects)
+            self._sync_after_advance = True
+        np = self.store.np
+        self.np = np
+        self.coverage = VectorizedCoverageIndex(system.layout, system.grid, self.store)
+        self.evaluator = BatchEvaluator(system.config, self.store)
+        self.clients_in_order = [system.clients[oid] for oid in system._client_order]
+        # From here on every LQT install/remove and focal-state refresh is
+        # pushed to the evaluator instead of being polled per evaluation.
+        self.evaluator.attach(self.clients_in_order)
+        # Mirror of each client's `last_cell`, indexed by store row.  The
+        # client attribute only changes inside `_handle_own_cell_change`,
+        # which the reporting scan itself invokes, so the mirror cannot
+        # drift.
+        self.last_i = np.empty(self.store.n, dtype=np.int64)
+        self.last_j = np.empty(self.store.n, dtype=np.int64)
+        for row, obj in enumerate(self.store.objects):
+            cell = system.clients[obj.oid].last_cell
+            self.last_i[row] = cell[0]
+            self.last_j[row] = cell[1]
+        self.processing_seconds = 0.0
+
+    # ------------------------------------------------------------- phases
+
+    def movement_phase(self, clock: "SimulationClock") -> None:
+        """Advance kinematics and roll the transport into the new step."""
+        self.system.motion.advance(clock.step_hours, clock.now_hours)
+        if self._sync_after_advance:
+            self.store.sync_from_objects()
+        # The vectorized coverage index reads the store directly; no
+        # position list is materialized.
+        self.system.transport.begin_step(clock.step, ())
+
+    def reporting_phase(self, clock: "SimulationClock") -> None:
+        """Run the scalar report logic for the objects that need it."""
+        store = self.store
+        np = self.np
+        now = clock.now_hours
+        changed = (store.cell_i != self.last_i) | (store.cell_j != self.last_j)
+        candidates = set(store.oids[changed].tolist()) if changed.any() else set()
+        candidates.update(self.system.server.fot.ids())
+        if not candidates:
+            return
+        clients = self.system.clients
+        row_of = store.row_of
+        cell_i = store.cell_i
+        cell_j = store.cell_j
+        threshold = self.system.config.dead_reckoning_threshold
+        for oid in sorted(candidates):
+            client = clients[oid]
+            row = row_of[oid]
+            new_cell = (int(cell_i[row]), int(cell_j[row]))
+            if new_cell != client.last_cell:
+                client._handle_own_cell_change(new_cell, now)
+                self.last_i[row] = new_cell[0]
+                self.last_j[row] = new_cell[1]
+            if client.has_mq:
+                deviation = client.obj.pos.distance_to(client._relayed_state.predict(now))
+                if deviation > threshold:
+                    client._relay_motion_state(now)
+
+    def evaluation_phase(self, clock: "SimulationClock") -> None:
+        """One batched pass over every client's local query table."""
+        started = time.perf_counter()
+        self.evaluator.run(clock.now_hours)
+        self.processing_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------ metrics
+
+    def drain_processing_seconds(self) -> float:
+        """Evaluation wall time accumulated since the last measurement."""
+        spent = self.processing_seconds
+        self.processing_seconds = 0.0
+        return spent
+
+    def measurement_counts(self) -> tuple[int, int, int, int, float]:
+        """Per-step measurement sample: ``(lqt_total, evaluated,
+        skipped_by_safe_period, skipped_by_grouping, processing_seconds)``.
+
+        Replaces the reference engine's walk over every client: LQT sizes
+        come from the evaluator's arena accounting, the evaluation counters
+        from its system-wide aggregates, and only the (few) clients with
+        static entries -- whose scalar path still bumps per-client stats --
+        are visited and drained individually.
+        """
+        ev = self.evaluator
+        lqt_total = ev.lqt_total()
+        evaluated, skipped_sp, skipped_group = self.drain_eval_counts()
+        for oid in ev._static_oids:
+            stats = self.system.clients[oid].stats
+            if stats.evaluated_queries:
+                evaluated += stats.evaluated_queries
+                stats.evaluated_queries = 0
+            if stats.skipped_by_safe_period:
+                skipped_sp += stats.skipped_by_safe_period
+                stats.skipped_by_safe_period = 0
+            if stats.skipped_by_grouping:
+                skipped_group += stats.skipped_by_grouping
+                stats.skipped_by_grouping = 0
+        return lqt_total, evaluated, skipped_sp, skipped_group, self.drain_processing_seconds()
+
+    def drain_eval_counts(self) -> tuple[int, int, int]:
+        """Aggregate (evaluated, skipped-by-safe-period, skipped-by-grouping)
+        counts for the moving entries handled by the batch evaluator.
+
+        The batch pass keeps these as system-wide totals instead of bumping
+        10k per-client counters; the metrics layer sums per-client counters
+        anyway, so folding the aggregates in at measurement time yields the
+        same :class:`~repro.metrics.collectors.StepStats`.
+        """
+        ev = self.evaluator
+        counts = (ev.evaluated_queries, ev.skipped_by_safe_period, ev.skipped_by_grouping)
+        ev.evaluated_queries = 0
+        ev.skipped_by_safe_period = 0
+        ev.skipped_by_grouping = 0
+        return counts
+
+    def oracle_results(
+        self, queries: "list[MovingQuery]"
+    ) -> "dict[QueryId, frozenset[ObjectId]]":
+        """Vectorized ground-truth evaluation on the current store state."""
+        return exact_results_fast(self.coverage, queries, self.system.grid)

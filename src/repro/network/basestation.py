@@ -60,6 +60,7 @@ class BaseStationLayout:
         self._build_lattice()
         self._bmap: dict[CellIndex, tuple[BaseStationId, ...]] = {}
         self._build_bmap()
+        self._cover_cache: dict[object, list[BaseStationId]] = {}
 
     def _build_lattice(self) -> None:
         uod = self.grid.uod
@@ -137,9 +138,18 @@ class BaseStationLayout:
         broadcast message per returned station.  ``region`` is any iterable
         of cell indices (a :class:`CellRange`, or the union of two ranges
         when a focal object's monitoring region moved).
+
+        The greedy cover is a pure function of the region (the lattice and
+        the Bmap are fixed at construction) and monitoring regions repeat
+        heavily across steps, so results are memoized.
         """
+        key: object = region if isinstance(region, CellRange) else tuple(region)
+        cached = self._cover_cache.get(key)
+        if cached is not None:
+            return list(cached)
         uncovered: set[CellIndex] = set(region)
         if not uncovered:
+            self._cover_cache[key] = []
             return []
         chosen: list[BaseStationId] = []
         # Candidate stations: anything appearing in the Bmap of a region cell.
@@ -158,7 +168,9 @@ class BaseStationLayout:
             chosen.append(best_id)
             uncovered -= gained
             del candidates[best_id]
-        return sorted(chosen)
+        chosen.sort()
+        self._cover_cache[key] = chosen
+        return list(chosen)
 
     def stations_hearing(self, point: Point) -> list[BaseStationId]:
         """All stations whose coverage contains ``point`` (for broadcast

@@ -55,6 +55,29 @@ class TestSimulate:
         assert "lazy" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_parser_accepts_bench_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--smoke", "--tag", "ci", "--output", "out"]
+        )
+        assert args.smoke is True
+        assert args.tag == "ci"
+        assert args.output == "out"
+
+    def test_dispatches_to_run_bench(self, monkeypatch, tmp_path):
+        import repro.fastpath.bench as bench_mod
+
+        calls = {}
+
+        def fake_run_bench(tag=None, smoke=False, out_dir=None, log=print):
+            calls.update(tag=tag, smoke=smoke, out_dir=out_dir)
+            return tmp_path / "BENCH_x.json"
+
+        monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
+        assert main(["bench", "--smoke", "--tag", "x"]) == 0
+        assert calls == {"tag": "x", "smoke": True, "out_dir": None}
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

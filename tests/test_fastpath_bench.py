@@ -1,0 +1,67 @@
+"""The ``repro bench`` harness: artifact shape and the performance guard.
+
+The guard asserts the vectorized engine is at least as fast as the
+reference engine on the small fixed ``dense`` scenario -- a regression trip
+wire, not a benchmark (the real numbers come from ``python -m repro bench``
+at paper scale).  Skipped without numpy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fastpath import numpy_available
+from repro.fastpath.bench import BenchScenario, dense_params, run_scenario, run_bench
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("bench")
+    path = run_bench(tag="test", smoke=True, out_dir=out_dir, log=lambda *_: None)
+    return json.loads(path.read_text())
+
+
+def test_artifact_shape(smoke_artifact):
+    assert smoke_artifact["tag"] == "test"
+    assert smoke_artifact["mode"] == "smoke"
+    names = [row["name"] for row in smoke_artifact["scenarios"]]
+    assert names == ["dense", "paper"]
+    for row in smoke_artifact["scenarios"]:
+        ref = row["engines"]["reference"]
+        assert ref["steps_per_sec"] > 0
+        assert set(ref["phase_seconds"]) == {
+            "movement",
+            "reporting",
+            "server",
+            "evaluation",
+            "measurement",
+        }
+        assert len(ref["result_hash"]) == 64
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_engines_produce_identical_results(smoke_artifact):
+    for row in smoke_artifact["scenarios"]:
+        assert row["results_match"], row["name"]
+        ref = row["engines"]["reference"]
+        vec = row["engines"]["vectorized"]
+        assert ref["uplink_messages"] == vec["uplink_messages"]
+        assert ref["downlink_messages"] == vec["downlink_messages"]
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_vectorized_at_least_as_fast_on_dense_scenario():
+    scenario = BenchScenario(
+        name="guard",
+        description="small fixed dense scenario for the speed guard",
+        params=dense_params(0.02),
+        steps=20,
+        warmup=3,
+        dead_reckoning_threshold=1.0,
+    )
+    row = run_scenario(scenario, log=lambda *_: None)
+    assert row["results_match"]
+    # At paper scale the dense ratio is >3x; at guard scale the margin is
+    # still wide enough that >=1.0 cannot flake on a loaded CI box.
+    assert row["speedup"] >= 1.0, row

@@ -1,0 +1,155 @@
+"""Differential test: the vectorized engine equals the reference engine
+*exactly* -- per-step query results, uplink/downlink message counts, and
+ledger bits -- on the Table 1 workload across the optimization matrix
+(grouping, safe period, lazy propagation, message loss, dead reckoning).
+
+The two engines share the client/transport protocol path, so any drift in
+the vectorized kernels (movement, coverage bucketing, batched evaluation)
+surfaces as a mismatch here.  Skipped without numpy (the reference engine
+never imports it)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import MobiEyesConfig, MobiEyesSystem, PropagationMode
+from repro.fastpath import numpy_available
+from repro.network.loss import LossModel
+from repro.sim.rng import SimulationRng
+from repro.workload import generate_workload, paper_defaults
+
+pytestmark = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+
+def build(
+    engine,
+    scale=0.012,
+    grouping=True,
+    safe_period=False,
+    lazy=False,
+    loss_p=0.0,
+    thresh=0.0,
+    seed=42,
+    compact_threshold=None,
+):
+    params = dataclasses.replace(paper_defaults(), seed=seed).scaled(scale)
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        base_station_side=params.base_station_side,
+        grouping=grouping,
+        safe_period=safe_period,
+        propagation=PropagationMode.LAZY if lazy else PropagationMode.EAGER,
+        dead_reckoning_threshold=thresh,
+        engine=engine,
+    )
+    loss = (
+        LossModel(rng=rng.fork(77), uplink_loss_rate=loss_p, downlink_loss_rate=loss_p)
+        if loss_p
+        else None
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+        track_accuracy=True,
+        loss=loss,
+    )
+    if compact_threshold is not None and engine == "vectorized":
+        system._fastpath.evaluator.compact_threshold = compact_threshold
+    system.install_queries(workload.query_specs)
+    return system
+
+
+def step_snapshot(system):
+    ledger = system.ledger.snapshot()
+    return (
+        sorted((qid, tuple(sorted(oids))) for qid, oids in system.results().items()),
+        ledger.uplink_count,
+        ledger.downlink_count,
+        ledger.uplink_bits,
+        ledger.downlink_bits,
+    )
+
+
+def metrics_snapshot(system):
+    rows = []
+    for stats in system.metrics.steps:
+        row = dataclasses.asdict(stats)
+        # Wall-clock fields legitimately differ between engines.
+        row.pop("server_seconds", None)
+        row.pop("object_processing_seconds", None)
+        rows.append(row)
+    return rows
+
+
+def assert_engines_agree(steps=18, **kwargs):
+    ref = build("reference", **kwargs)
+    vec = build("vectorized", **kwargs)
+    for step in range(steps):
+        ref.step()
+        vec.step()
+        assert step_snapshot(ref) == step_snapshot(vec), (
+            f"engines diverged at step {step + 1} with {kwargs}"
+        )
+        if step % 6 == 0:
+            ref.check_invariants()
+            vec.check_invariants()
+    assert metrics_snapshot(ref) == metrics_snapshot(vec), kwargs
+
+
+MATRIX = [
+    dict(),
+    dict(grouping=False),
+    dict(safe_period=True),
+    dict(lazy=True),
+    dict(loss_p=0.3),
+    dict(thresh=1.0),
+    dict(grouping=False, safe_period=True, lazy=True, loss_p=0.15, thresh=0.5),
+]
+
+
+@pytest.mark.parametrize("kwargs", MATRIX, ids=lambda kw: "-".join(kw) or "defaults")
+def test_engines_bit_identical(kwargs):
+    assert_engines_agree(**kwargs)
+
+
+def test_engines_agree_across_arena_compaction():
+    # A tiny threshold forces the arena to compact repeatedly, exercising
+    # the tombstone-squeeze path that full-scale runs only hit after
+    # thousands of re-appends.
+    assert_engines_agree(steps=24, thresh=1.0, compact_threshold=4)
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    grouping=st.booleans(),
+    safe_period=st.booleans(),
+    lazy=st.booleans(),
+    loss_p=st.sampled_from([0.0, 0.2]),
+    thresh=st.sampled_from([0.0, 0.5]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_engines_bit_identical_random_configs(
+    grouping, safe_period, lazy, loss_p, thresh, seed
+):
+    assert_engines_agree(
+        steps=12,
+        scale=0.008,
+        grouping=grouping,
+        safe_period=safe_period,
+        lazy=lazy,
+        loss_p=loss_p,
+        thresh=thresh,
+        seed=seed,
+    )
