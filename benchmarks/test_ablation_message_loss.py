@@ -3,20 +3,39 @@
 
 def test_ablation_message_loss(run_figure):
     result = run_figure("ablation-loss")
+    models = result.column("model")
     rates = result.column("loss-rate")
     errors = [e or 0.0 for e in result.column("error")]
+    lost_uplinks = result.column("lost-uplinks")
+
+    iid = [i for i, model in enumerate(models) if model == "iid"]
+    burst = [i for i, model in enumerate(models) if model == "burst"]
+    disconnect = [i for i, model in enumerate(models) if model == "disconnect"]
+    assert iid and burst and disconnect
 
     # Zero loss is exact (the EQP + delta=0 guarantee).
-    assert rates[0] == 0.0
-    assert errors[0] == 0.0
+    assert rates[iid[0]] == 0.0
+    assert errors[iid[0]] == 0.0
 
     # Loss hurts, but degradation is graceful: the error stays roughly
     # proportional to the loss rate (no cliff), and even at 40% loss the
     # mean missing fraction stays below total failure.
-    assert errors[-1] >= errors[0]
-    assert errors[-1] < 0.85
-    for rate, error in zip(rates[1:], errors[1:]):
-        assert error <= 2.5 * rate
+    assert errors[iid[-1]] >= errors[iid[0]]
+    assert errors[iid[-1]] < 0.85
+    for i in iid[1:]:
+        assert errors[i] <= 2.5 * rates[i]
 
     # The loss injector actually dropped traffic at non-zero rates.
-    assert all(v > 0 for v in result.column("lost-uplinks")[1:])
+    assert all(lost_uplinks[i] > 0 for i in iid[1:])
+
+    # Burst channels (matched stationary mean, served by the reliability
+    # layer) degrade gracefully too, and really drop traffic.
+    for i in burst:
+        assert errors[i] < 0.85
+        assert lost_uplinks[i] > 0
+
+    # Scheduled disconnections drop traffic while the windows are open;
+    # carrier sensing + resync keep the mean error bounded.
+    for i in disconnect:
+        assert lost_uplinks[i] > 0
+        assert errors[i] < 0.85

@@ -8,6 +8,7 @@ Usage::
     python -m repro params [--scale 0.06]        # show Table 1 (scaled)
     python -m repro simulate --objects 400 --queries 40 --steps 30
     python -m repro bench --smoke                # engine benchmark artifact
+    python -m repro chaos --smoke                # fault-injection harness
 
 ``run`` prints each experiment's table (the same output the benchmark
 harness produces); ``simulate`` runs a single ad-hoc MobiEyes simulation
@@ -150,6 +151,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.chaos import run_chaos
+
+    if args.engine == "both":
+        engines = ["reference", "vectorized"]
+    else:
+        engines = [args.engine]
+    if "vectorized" in engines:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            if args.engine == "both":
+                print("numpy unavailable: skipping the vectorized engine", file=sys.stderr)
+                engines.remove("vectorized")
+            else:
+                print("numpy is required for --engine vectorized", file=sys.stderr)
+                return 2
+    steps = 30 if args.smoke and args.steps is None else (args.steps or 40)
+    scale = 0.015 if args.smoke and args.scale is None else (args.scale or 0.02)
+
+    reports = {}
+    for engine in engines:
+        reports[engine] = run_chaos(
+            engine=engine,
+            steps=steps,
+            scale=scale,
+            seed=args.seed,
+            uplink_loss=args.uplink_loss,
+            downlink_loss=args.downlink_loss,
+            burst=args.burst,
+        )
+
+    failed = False
+    if len(reports) == 2:
+        ref, fast = reports["reference"], reports["vectorized"]
+        mismatched = [
+            key
+            for key in ("result_hash", "drops", "message_counts", "per_step")
+            if ref[key] != fast[key]
+        ]
+        if mismatched:
+            print(f"ENGINE MISMATCH on: {', '.join(mismatched)}", file=sys.stderr)
+            failed = True
+    for engine, report in reports.items():
+        if not report["converged"]:
+            print(f"NON-CONVERGENCE: {engine} engine never matched the oracle", file=sys.stderr)
+            failed = True
+
+    artifact = reports[engines[0]] if len(reports) == 1 else {"engines": reports}
+    text = json.dumps(artifact, sort_keys=True, indent=2)
+    print(text)
+    tag = args.tag or ("smoke" if args.smoke else "local")
+    out_dir = Path(args.output) if args.output else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"CHAOS_{tag}.json"
+    path.write_text(text + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     from repro.experiments.runner import DEFAULT_STEPS
@@ -216,6 +279,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="directory for the artifact (default: current directory)"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection harness, write CHAOS_<tag>.json, "
+        "exit nonzero on non-convergence",
+    )
+    chaos.add_argument(
+        "--smoke", action="store_true", help="small deterministic scenario for CI"
+    )
+    chaos.add_argument(
+        "--engine",
+        choices=("reference", "vectorized", "both"),
+        default="both",
+        help="engine(s) to run; 'both' also cross-checks their reports",
+    )
+    chaos.add_argument("--steps", type=int, default=None, help="simulated steps (default 40)")
+    chaos.add_argument(
+        "--scale", type=float, default=None, help="workload scale (default 0.02)"
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="scenario seed")
+    chaos.add_argument(
+        "--uplink-loss", type=float, default=0.0, help="mean uplink channel loss rate"
+    )
+    chaos.add_argument(
+        "--downlink-loss", type=float, default=0.0, help="mean downlink channel loss rate"
+    )
+    chaos.add_argument(
+        "--burst",
+        action="store_true",
+        help="use Gilbert-Elliott burst channels instead of Bernoulli",
+    )
+    chaos.add_argument("--tag", default=None, help="artifact tag (default: 'local'/'smoke')")
+    chaos.add_argument(
+        "--output", default=None, help="directory for the artifact (default: current directory)"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
         "report", help="run every experiment and write the EXPERIMENTS.md report"

@@ -14,6 +14,14 @@ Each moving object runs a :class:`MobiEyesClient` that:
 - applies the safe-period optimization: after finding itself outside a
   query region it computes the worst-case earliest time it could possibly
   enter and skips evaluations until then.
+
+Under fault injection (a :class:`~repro.faults.injector.FaultInjector`
+on the transport) the client additionally runs the recovery protocol:
+it heartbeats after ``heartbeat_steps`` steps without an acknowledged
+uplink, marks itself *suspect* when a reliable uplink exhausts its
+retries, watches the per-object downlink sequence stream for gaps, and
+resyncs -- a full LQT rebuild from a server snapshot -- once it regains
+contact after either signal.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.geometry import Circle, Vector
 from repro.core.messages import (
     CellChangeReport,
     FocalRoleNotification,
+    Heartbeat,
     MotionStateRequest,
     MotionStateResponse,
     QueryDescriptor,
@@ -35,6 +44,8 @@ from repro.core.messages import (
     QueryRemoveBroadcast,
     QueryUpdateBroadcast,
     ResultChangeReport,
+    ResyncRequest,
+    ResyncResponse,
     VelocityChangeBroadcast,
     VelocityChangeReport,
 )
@@ -95,6 +106,15 @@ class MobiEyesClient:
         # meaningful while the object is focal.
         self._relayed_state = obj.snapshot()
         self.stats = ClientStats()
+        # Fault-handling state; the system wires `focal_registry` (the
+        # shared client-side view of who is focal) and `fault_policy`
+        # (non-None only when a FaultInjector is attached).
+        self.focal_registry: set[ObjectId] | None = None
+        self.fault_policy = None
+        self._steps_since_ack = 0
+        self._last_downlink_seq: int | None = None
+        self._needs_resync = False
+        self._suspect = False
         transport.attach_client(obj.oid, self)
 
     @property
@@ -268,7 +288,100 @@ class MobiEyesClient:
 
     def _uplink(self, message: object) -> None:
         self.stats.uplinks_sent += 1
-        self.transport.uplink(message)
+        acked = self.transport.uplink(message)
+        if self.fault_policy is None or not getattr(message, "reliable", False):
+            return
+        # A reliable uplink doubles as a connectivity probe: its ack (or
+        # the lack of one after the retry budget) is how the object learns
+        # whether it can still reach the server.
+        if acked:
+            self._steps_since_ack = 0
+            if self._suspect:
+                # Contact regained after a suspected partition: whatever
+                # was broadcast in between is gone; schedule a resync.
+                self._suspect = False
+                self._needs_resync = True
+        else:
+            self._suspect = True
+
+    # -------------------------------------------------------- fault phase
+
+    def fault_phase(self, clock: SimulationClock) -> None:
+        """Heartbeat / resync housekeeping (runs only under fault injection).
+
+        Runs after the reporting phase and before evaluation, so a resync
+        triggered this step already feeds the step's own evaluation.
+        """
+        if self.fault_policy is None:
+            return
+        # Carrier sensing: a device can tell locally when it has no signal
+        # (disconnection or a dead serving station).  Anything it sent in
+        # the blackout may be gone, so it must resync once back online.
+        loss = self.transport.loss
+        if loss is not None and loss.carrier_lost(self.oid):
+            self._suspect = True
+        if self._needs_resync:
+            self._send_resync()
+            return
+        self._steps_since_ack += 1
+        if self._steps_since_ack >= self.fault_policy.heartbeat_steps:
+            self._steps_since_ack = 0
+            self._uplink(Heartbeat(oid=self.oid))
+
+    def _send_resync(self) -> None:
+        """Ask the server for a full state snapshot (reliable round trip).
+
+        The response arrives synchronously through :meth:`on_downlink`
+        when the exchange succeeds; ``_needs_resync`` is cleared only by
+        :meth:`_apply_resync`, so a lost response retries next step.
+        """
+        self._suspect = False
+        state = self.obj.snapshot()
+        self._relayed_state = state
+        self._uplink(
+            ResyncRequest(
+                oid=self.oid, cell=self.last_cell, state=state, max_speed=self.obj.max_speed
+            )
+        )
+
+    def observe_downlink_seq(self, seq: int) -> None:
+        """Track the per-object downlink sequence; a gap means missed traffic."""
+        last = self._last_downlink_seq
+        self._last_downlink_seq = seq
+        if (
+            last is not None
+            and seq > last + 1
+            and self.fault_policy is not None
+            and self.fault_policy.resync_on_gap
+        ):
+            self._needs_resync = True
+
+    def _set_has_mq(self, flag: bool) -> None:
+        self.has_mq = flag
+        registry = self.focal_registry
+        if registry is not None:
+            if flag:
+                registry.add(self.oid)
+            else:
+                registry.discard(self.oid)
+
+    def _apply_resync(self, message: ResyncResponse) -> None:
+        """Rebuild the LQT from the server's snapshot.
+
+        Every entry is dropped and reinstalled fresh (``is_target`` False);
+        the server purged this object from all query results when it
+        answered the resync, so both sides restart from a blank membership
+        and the next evaluation re-reports the true one.
+        """
+        for qid in self.lqt.ids():
+            self.lqt.remove(qid)
+        for desc in message.queries:
+            if desc.oid is not None and desc.oid == self.oid:
+                continue
+            if desc.mon_region.contains(self.last_cell) and desc.filter.matches(self.obj.props):
+                self.lqt.install(LqtEntry.from_descriptor(desc))
+        self._set_has_mq(message.has_mq)
+        self._needs_resync = False
 
     # ----------------------------------------------------------- downlink
 
@@ -286,7 +399,7 @@ class MobiEyesClient:
                 self._on_query_broadcast(message.queries)
         elif isinstance(message, FocalRoleNotification):
             if message.oid == self.oid:
-                self.has_mq = message.has_mq
+                self._set_has_mq(message.has_mq)
         elif isinstance(message, MotionStateRequest):
             if message.oid == self.oid:
                 state = self.obj.snapshot()
@@ -294,6 +407,9 @@ class MobiEyesClient:
                 self._uplink(
                     MotionStateResponse(oid=self.oid, state=state, max_speed=self.obj.max_speed)
                 )
+        elif isinstance(message, ResyncResponse):
+            if message.oid == self.oid:
+                self._apply_resync(message)
         else:
             raise TypeError(f"unexpected downlink message {type(message).__name__}")
 

@@ -8,18 +8,30 @@ only the *relative* sizes matter for the reproduced trends.
 
 Uplink messages (object -> server):
     :class:`VelocityChangeReport`, :class:`CellChangeReport`,
-    :class:`ResultChangeReport`, :class:`MotionStateResponse`.
+    :class:`ResultChangeReport`, :class:`MotionStateResponse`,
+    :class:`Heartbeat`, :class:`ResyncRequest`.
 
 Downlink messages (server -> objects, broadcast or one-to-one):
     :class:`QueryInstallBroadcast`, :class:`QueryUpdateBroadcast`,
     :class:`QueryRemoveBroadcast`, :class:`VelocityChangeBroadcast`,
     :class:`FocalRoleNotification`, :class:`QueryInstallList`,
-    :class:`MotionStateRequest`.
+    :class:`MotionStateRequest`, :class:`ResyncResponse`.
+
+:class:`Ack` flows both ways (the receiver of a reliable message
+acknowledges it to the sender).
+
+Every message class declares a ``reliable`` flag.  Reliable messages are
+the control-plane exchanges that must not silently half-complete (query
+installation round trips, role notifications, and the recovery protocol);
+under the plain :class:`~repro.network.loss.LossModel` they are simply
+exempt from loss, while the fault-injection stack
+(:mod:`repro.faults`) delivers them through a real ack/retransmit loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.geometry import Shape
 from repro.grid import CellIndex, CellRange
@@ -36,6 +48,7 @@ BITS_CELL = 32  # packed (i, j)
 BITS_RADIUS = 32
 BITS_FILTER = 32
 BITS_BOOL = 8  # byte-aligned flag
+BITS_SEQ = 32  # per-receiver message sequence number
 BITS_MOTION_STATE = 4 * BITS_COORD + BITS_TIME  # pos + vel + timestamp
 BITS_CELL_RANGE = 2 * BITS_CELL  # (lo_i, lo_j) .. (hi_i, hi_j)
 
@@ -79,6 +92,8 @@ class QueryDescriptor:
 class VelocityChangeReport:
     """Focal object -> server: significant velocity-vector change."""
 
+    reliable: ClassVar[bool] = False
+
     oid: ObjectId
     state: MotionState
 
@@ -95,6 +110,8 @@ class CellChangeReport:
     Focal objects include their motion state so the server can refresh the
     FOT without a round trip.
     """
+
+    reliable: ClassVar[bool] = False
 
     oid: ObjectId
     prev_cell: CellIndex
@@ -120,6 +137,8 @@ class ResultChangeReport:
     a single query's flag.
     """
 
+    reliable: ClassVar[bool] = False
+
     oid: ObjectId
     changes: dict[QueryId, bool] = field(default_factory=dict)
 
@@ -137,6 +156,8 @@ class ResultChangeReport:
 class MotionStateResponse:
     """Object -> server: reply to a :class:`MotionStateRequest`."""
 
+    reliable: ClassVar[bool] = True
+
     oid: ObjectId
     state: MotionState
     max_speed: float
@@ -145,6 +166,47 @@ class MotionStateResponse:
     def bits(self) -> int:
         """Wire size of this message in bits."""
         return BITS_HEADER + BITS_OID + BITS_MOTION_STATE + BITS_COORD
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Object -> server: liveness probe and soft-state lease renewal.
+
+    Sent (reliably) by every object after ``heartbeat_steps`` steps without
+    an acknowledged uplink; a failed heartbeat is how an object learns it is
+    partitioned from the server.
+    """
+
+    reliable: ClassVar[bool] = True
+
+    oid: ObjectId
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID
+
+
+@dataclass(frozen=True, slots=True)
+class ResyncRequest:
+    """Object -> server: I may have missed downlink traffic; resync me.
+
+    Carries the object's current cell and motion state so the server can
+    refresh (or reinstate) its focal-object record without a second round
+    trip.
+    """
+
+    reliable: ClassVar[bool] = True
+
+    oid: ObjectId
+    cell: CellIndex
+    state: MotionState
+    max_speed: float
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_CELL + BITS_MOTION_STATE + BITS_COORD
 
 
 # ---------------------------------------------------------------- downlink
@@ -157,6 +219,8 @@ class QueryInstallBroadcast:
     Carries one or more query descriptors (more than one when server-side
     grouping bundles queries sharing a focal object and monitoring region).
     """
+
+    reliable: ClassVar[bool] = False
 
     queries: tuple[QueryDescriptor, ...]
 
@@ -174,6 +238,8 @@ class QueryUpdateBroadcast:
     queries; receivers outside drop them.
     """
 
+    reliable: ClassVar[bool] = False
+
     queries: tuple[QueryDescriptor, ...]
 
     @property
@@ -185,6 +251,8 @@ class QueryUpdateBroadcast:
 @dataclass(frozen=True, slots=True)
 class QueryRemoveBroadcast:
     """Server -> monitoring region: these queries were uninstalled."""
+
+    reliable: ClassVar[bool] = False
 
     qids: tuple[QueryId, ...]
 
@@ -205,6 +273,8 @@ class VelocityChangeBroadcast:
     queries they missed.
     """
 
+    reliable: ClassVar[bool] = False
+
     oid: ObjectId
     state: MotionState
     qids: tuple[QueryId, ...]
@@ -222,6 +292,8 @@ class VelocityChangeBroadcast:
 class FocalRoleNotification:
     """Server -> one object: you are (no longer) a focal object (hasMQ)."""
 
+    reliable: ClassVar[bool] = True
+
     oid: ObjectId
     has_mq: bool
 
@@ -234,6 +306,8 @@ class FocalRoleNotification:
 @dataclass(frozen=True, slots=True)
 class QueryInstallList:
     """Server -> one object: queries to install after its cell change (EQP)."""
+
+    reliable: ClassVar[bool] = False
 
     oid: ObjectId
     queries: tuple[QueryDescriptor, ...]
@@ -248,6 +322,8 @@ class QueryInstallList:
 class MotionStateRequest:
     """Server -> one object: send me your position and velocity."""
 
+    reliable: ClassVar[bool] = True
+
     oid: ObjectId
 
     @property
@@ -256,7 +332,59 @@ class MotionStateRequest:
         return BITS_HEADER + BITS_OID
 
 
-UplinkMessage = VelocityChangeReport | CellChangeReport | ResultChangeReport | MotionStateResponse
+@dataclass(frozen=True, slots=True)
+class ResyncResponse:
+    """Server -> one object: full recovery state after a :class:`ResyncRequest`.
+
+    Carries the descriptors of every query whose monitoring region covers
+    the object's reported cell, plus the authoritative focal-role flag; the
+    object rebuilds its LQT from scratch from this message.
+    """
+
+    reliable: ClassVar[bool] = True
+
+    oid: ObjectId
+    queries: tuple[QueryDescriptor, ...]
+    has_mq: bool
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_BOOL + sum(q.bits for q in self.queries)
+
+
+# --------------------------------------------------------------- both ways
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Acknowledgement of a reliable message, echoing its sequence number.
+
+    Travels opposite to the message it acknowledges (uplink acks flow down,
+    downlink acks flow up).  Acks themselves are *not* reliable: a lost ack
+    simply triggers a retransmission of the original message.
+    """
+
+    reliable: ClassVar[bool] = False
+
+    oid: ObjectId
+    seq: int
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_OID + BITS_SEQ
+
+
+UplinkMessage = (
+    VelocityChangeReport
+    | CellChangeReport
+    | ResultChangeReport
+    | MotionStateResponse
+    | Heartbeat
+    | ResyncRequest
+    | Ack
+)
 DownlinkMessage = (
     QueryInstallBroadcast
     | QueryUpdateBroadcast
@@ -265,4 +393,6 @@ DownlinkMessage = (
     | FocalRoleNotification
     | QueryInstallList
     | MotionStateRequest
+    | ResyncResponse
+    | Ack
 )

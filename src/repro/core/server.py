@@ -24,6 +24,7 @@ from repro.core.config import MobiEyesConfig
 from repro.core.messages import (
     CellChangeReport,
     FocalRoleNotification,
+    Heartbeat,
     MotionStateRequest,
     MotionStateResponse,
     QueryDescriptor,
@@ -32,6 +33,8 @@ from repro.core.messages import (
     QueryRemoveBroadcast,
     QueryUpdateBroadcast,
     ResultChangeReport,
+    ResyncRequest,
+    ResyncResponse,
     VelocityChangeBroadcast,
     VelocityChangeReport,
 )
@@ -39,7 +42,7 @@ from repro.core.query import MovingQuery, QueryId, QuerySpec
 from repro.core.tables import FocalObjectTable, ReverseQueryIndex, ServerQueryTable, SqtEntry
 from repro.core.transport import SimulatedTransport
 from repro.grid import CellIndex, Grid, monitoring_region
-from repro.mobility.model import ObjectId
+from repro.mobility.model import MotionState, ObjectId
 
 
 class MobiEyesServer:
@@ -54,6 +57,12 @@ class MobiEyesServer:
         self.rqi = ReverseQueryIndex()
         self._next_qid: QueryId = 1
         self._subscribers: dict[QueryId, list[ResultCallback]] = {}
+        # Soft-state leases (enabled under fault injection): last step each
+        # object was heard from, and the max-speed bound of focal objects
+        # whose queries are currently suspended.
+        self._lease_steps: int | None = None
+        self._last_heard: dict[ObjectId, int] = {}
+        self._suspended: dict[ObjectId, float] = {}
         # Load accounting: wall seconds and abstract operations this step.
         self.load_seconds = 0.0
         self.op_count = 0
@@ -162,7 +171,9 @@ class MobiEyesServer:
             self.op_count += entry.mon_region.cell_count + 1
             focal_left = entry.is_static or self.sqt.is_focal(entry.oid)
             if not focal_left:
-                self.fot.remove(entry.oid)
+                if entry.oid in self.fot:
+                    self.fot.remove(entry.oid)
+                self._suspended.pop(entry.oid, None)
         finally:
             self._exit_timed()
         self.transport.broadcast(entry.mon_region, QueryRemoveBroadcast(qids=(qid,)))
@@ -173,6 +184,8 @@ class MobiEyesServer:
 
     def on_uplink(self, message: object) -> None:
         """Dispatch an object -> server message."""
+        if self._lease_steps is not None:
+            self._touch_lease(message)
         if isinstance(message, VelocityChangeReport):
             self._on_velocity_change(message)
         elif isinstance(message, CellChangeReport):
@@ -181,8 +194,155 @@ class MobiEyesServer:
             self._on_result_change(message)
         elif isinstance(message, MotionStateResponse):
             self._on_motion_state(message)
+        elif isinstance(message, ResyncRequest):
+            self._on_resync_request(message)
+        elif isinstance(message, Heartbeat):
+            pass  # liveness only; the lease bookkeeping above did the work
         else:
             raise TypeError(f"unexpected uplink message {type(message).__name__}")
+
+    # ------------------------------------------------- soft-state leases
+
+    def enable_leases(self, lease_steps: int) -> None:
+        """Turn on soft-state leases: a focal object silent for more than
+        ``lease_steps`` steps has its queries suspended until it is heard
+        from again (wired up only under fault injection)."""
+        self._lease_steps = lease_steps
+
+    def _touch_lease(self, message: object) -> None:
+        """Record a sign of life and reinstate a suspended focal object."""
+        oid = getattr(message, "oid", None)
+        if oid is None:
+            return
+        self._last_heard[oid] = self.transport.step
+        if oid not in self._suspended:
+            return
+        state = getattr(message, "state", None)
+        if state is not None:
+            self._reinstate(oid, state, getattr(message, "max_speed", None))
+        else:
+            # A stateless sign of life (heartbeat, result report): probe for
+            # fresh motion state; the response re-enters on_uplink and
+            # reinstates through the branch above.
+            self.transport.send(oid, MotionStateRequest(oid=oid))
+
+    def expire_leases(self, step: int) -> None:
+        """Suspend the queries of focal objects whose lease ran out."""
+        if self._lease_steps is None:
+            return
+        for oid in sorted(self.fot.ids()):
+            if step - self._last_heard.get(oid, 0) > self._lease_steps:
+                self._suspend(oid)
+
+    def _suspend(self, oid: ObjectId) -> None:
+        """Withdraw a silent focal object's queries from active service.
+
+        The queries stay in the SQT (marked ``suspended``) but leave the
+        RQI and lose their results, the focal object leaves the FOT, and
+        the monitoring regions are told to drop the queries.  Everything
+        is undone by :meth:`_reinstate` when the object resurfaces.
+        """
+        left: list[tuple[QueryId, ObjectId]] = []
+        self._enter_timed()
+        try:
+            entries = self.sqt.queries_of_focal(oid)
+            for entry in entries:
+                self.rqi.remove(entry.qid, entry.mon_region)
+                entry.suspended = True
+                for member in sorted(entry.result):
+                    left.append((entry.qid, member))
+                entry.result.clear()
+                self.op_count += entry.mon_region.cell_count + 1
+            groups = self._broadcast_groups(entries)
+            self._suspended[oid] = self.fot.get(oid).max_speed
+            self.fot.remove(oid)
+        finally:
+            self._exit_timed()
+        for qid, member in left:
+            for callback in self._subscribers.get(qid, ()):
+                callback(qid, member, False)
+        for mon_region, group in groups:
+            self.transport.broadcast(
+                mon_region, QueryRemoveBroadcast(qids=tuple(e.qid for e in group))
+            )
+
+    def _reinstate(self, oid: ObjectId, state: MotionState, max_speed: float | None = None) -> None:
+        """Bring a suspended focal object's queries back into service."""
+        stored = self._suspended.pop(oid, None)
+        if stored is None:
+            return
+        if max_speed is None:
+            max_speed = stored
+        self._enter_timed()
+        try:
+            self.fot.upsert(oid, state, max_speed)
+            curr_cell = self.grid.cell_index(state.pos)
+            entries = self.sqt.queries_of_focal(oid)
+            for entry in entries:
+                entry.curr_cell = curr_cell
+                entry.mon_region = monitoring_region(self.grid, curr_cell, entry.region)
+                self.rqi.add(entry.qid, entry.mon_region)
+                entry.suspended = False
+                self.op_count += entry.mon_region.cell_count + 1
+            groups = self._broadcast_groups(entries)
+        finally:
+            self._exit_timed()
+        for mon_region, group in groups:
+            self.transport.broadcast(
+                mon_region,
+                QueryInstallBroadcast(queries=tuple(self._descriptor(e) for e in group)),
+            )
+
+    def _on_resync_request(self, message: ResyncRequest) -> None:
+        """Rebuild one object's protocol state after it detected a gap.
+
+        The object is about to discard its LQT (and with it the is_target
+        memory its differential reports build on), so the server purges it
+        from every result first; the object's next full evaluation then
+        re-reports the truth as a clean differential.  The reply carries
+        the descriptors of every query alive at the object's cell.
+        """
+        oid = message.oid
+        focal_updates: list[tuple[set[CellIndex], list[SqtEntry]]] = []
+        purged: list[QueryId] = []
+        self._enter_timed()
+        try:
+            if oid in self.fot:
+                self.fot.upsert(oid, message.state, message.max_speed)
+            if self.sqt.is_focal(oid) and oid not in self._suspended:
+                # Always push fresh descriptors to the monitoring regions:
+                # the focal's relays during its blackout are gone, and the
+                # watchers cannot detect that staleness on their own.
+                entries = self.sqt.queries_of_focal(oid)
+                if any(e.curr_cell != message.cell for e in entries):
+                    focal_updates = self._refresh_focal_regions(oid, message.cell)
+                else:
+                    focal_updates = [
+                        (group[0].mon_region, group)
+                        for _region, group in self._broadcast_groups(entries)
+                    ]
+            for entry in self.sqt.entries():
+                if oid in entry.result:
+                    entry.result.discard(oid)
+                    purged.append(entry.qid)
+                    self.op_count += 1
+            queries = tuple(
+                self._descriptor(self.sqt.get(qid))
+                for qid in sorted(self.rqi.queries_at(message.cell))
+                if self.sqt.get(qid).oid != oid
+            )
+            has_mq = self.sqt.is_focal(oid) and oid not in self._suspended
+        finally:
+            self._exit_timed()
+        for qid in purged:
+            for callback in self._subscribers.get(qid, ()):
+                callback(qid, oid, False)
+        for combined_region, group in focal_updates:
+            self.transport.broadcast(
+                combined_region,
+                QueryUpdateBroadcast(queries=tuple(self._descriptor(e) for e in group)),
+            )
+        self.transport.send(oid, ResyncResponse(oid=oid, queries=queries, has_mq=has_mq))
 
     def _on_motion_state(self, message: MotionStateResponse) -> None:
         self._enter_timed()
@@ -290,7 +450,10 @@ class MobiEyesServer:
             for qid, is_target in message.changes.items():
                 if qid not in self.sqt:
                     continue  # query was removed while the report was in flight
-                result = self.sqt.get(qid).result
+                entry = self.sqt.get(qid)
+                if entry.suspended:
+                    continue  # lease-suspended: the report is stale by definition
+                result = entry.result
                 if is_target:
                     if message.oid not in result:
                         result.add(message.oid)
@@ -400,6 +563,11 @@ class MobiEyesServer:
         for oid in list(self.fot.ids()):
             assert self.sqt.is_focal(oid), f"FOT holds non-focal object {oid}"
         for entry in self.sqt.entries():
+            if entry.suspended:
+                # Lease-suspended queries are deliberately out of the FOT
+                # and RQI until their focal object resurfaces.
+                assert not entry.result, f"suspended query {entry.qid} kept a result"
+                continue
             if not entry.is_static:
                 assert entry.oid in self.fot, (
                     f"query {entry.qid}'s focal object {entry.oid} missing from FOT"

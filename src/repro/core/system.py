@@ -91,6 +91,23 @@ class MobiEyesSystem:
             for obj in self.motion.objects
         }
         self._client_order = sorted(self.clients)
+        # Client-side view of who holds moving queries.  The fastpath uses
+        # this (rather than the server's FOT) to pick dead-reckoning
+        # candidates, because lease suspension can remove an object from
+        # the FOT while its client still believes it is focal.
+        self.focal_flags: set[ObjectId] = set()
+        for client in self.clients.values():
+            client.focal_registry = self.focal_flags
+        self._fault_injector = None
+        if getattr(loss, "policy", None) is not None:
+            # Fault injection: bind the injector to live positions, turn
+            # on server leases, and give every client the fault policy
+            # (heartbeats and resync).
+            self._fault_injector = loss
+            loss.bind(self.layout, lambda oid: self.clients[oid].obj.pos)
+            self.server.enable_leases(loss.policy.lease_steps)
+            for client in self.clients.values():
+                client.fault_policy = loss.policy
         self._fastpath = None
         if config.engine == "vectorized":
             from repro.fastpath.runtime import FastpathRuntime
@@ -110,6 +127,8 @@ class MobiEyesSystem:
         self.engine = SimulationEngine(SimulationClock(config.step_seconds))
         self.engine.register("movement", self._movement_phase)
         self.engine.register("reporting", self._reporting_phase)
+        if self._fault_injector is not None:
+            self.engine.register("server", self._fault_phase)
         self.engine.register("evaluation", self._evaluation_phase)
         self.engine.register("measurement", self._measurement_phase)
         # The install-time broadcasts need a valid coverage index.
@@ -205,6 +224,17 @@ class MobiEyesSystem:
             and clock.step % beacon == 0
         ):
             self.server.beacon_static_queries()
+
+    def _fault_phase(self, clock: SimulationClock) -> None:
+        """Fault-injection housekeeping between reporting and evaluation.
+
+        Clients run their heartbeat/resync logic (so a resync completed
+        here feeds the same step's evaluation), then the server expires
+        leases of objects it has not heard from.
+        """
+        for oid in self._client_order:
+            self.clients[oid].fault_phase(clock)
+        self.server.expire_leases(clock.step)
 
     def _evaluation_phase(self, clock: SimulationClock) -> None:
         if clock.step % self.config.eval_period_steps != 0:

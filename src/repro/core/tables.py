@@ -95,6 +95,10 @@ class SqtEntry:
     curr_cell: CellIndex | None
     mon_region: CellRange
     result: set[ObjectId] = field(default_factory=set)
+    # Soft-state lease flag: True while the focal object's lease has
+    # expired and the query is withdrawn from the RQI (see
+    # MobiEyesServer.expire_leases).  Always False outside fault injection.
+    suspended: bool = False
 
     @property
     def is_static(self) -> bool:

@@ -99,7 +99,16 @@ class CoverageIndex:
 
 
 class SimulatedTransport:
-    """Routes protocol messages, accounting them in a message ledger."""
+    """Routes protocol messages, accounting them in a message ledger.
+
+    When ``loss`` is a :class:`~repro.faults.injector.FaultInjector`
+    (recognized by its ``policy`` attribute) the transport activates the
+    real reliability machinery: messages whose class declares
+    ``reliable = True`` go through the ack/retransmit layer instead of
+    the loss-exemption shortcut, and every downlink delivered to (or
+    dropped for) a registered client bumps that client's sequence number
+    so receivers can detect the traffic they missed.
+    """
 
     def __init__(
         self,
@@ -113,12 +122,23 @@ class SimulatedTransport:
         self.ledger = ledger
         self.trace = trace
         self.loss = loss
+        self.reliability = None
+        if getattr(loss, "policy", None) is not None:
+            from repro.faults.reliability import ReliabilityLayer
+
+            self.reliability = ReliabilityLayer(self, loss)
         self.coverage = CoverageIndex(layout, grid)
         self._clients: dict[ObjectId, DownlinkReceiver] = {}
         self._server: UplinkReceiver | None = None
         self._step = 0
+        self._downlink_seq: dict[ObjectId, int] = {}
 
     # ------------------------------------------------------------- wiring
+
+    @property
+    def step(self) -> int:
+        """The simulation step the transport is currently in."""
+        return self._step
 
     def attach_server(self, server: UplinkReceiver) -> None:
         """Register the server as the uplink sink."""
@@ -135,34 +155,51 @@ class SimulatedTransport:
     def begin_step(self, step: int, positions: Iterable[tuple[ObjectId, Point]]) -> None:
         """Refresh the coverage index for the new step's object positions."""
         self._step = step
+        if self.loss is not None:
+            self.loss.begin_step(step)
         self.coverage.rebuild(positions)
+
+    def next_downlink_seq(self, oid: ObjectId) -> int:
+        """Allocate the next slot in one receiver's downlink sequence."""
+        seq = self._downlink_seq.get(oid, 0) + 1
+        self._downlink_seq[oid] = seq
+        return seq
 
     # ------------------------------------------------------------ traffic
 
-    def uplink(self, message: object) -> None:
-        """Object -> server message through the covering base station."""
+    def uplink(self, message: object) -> bool:
+        """Object -> server message through the covering base station.
+
+        Returns whether the message reached the server (and, for reliable
+        messages under fault injection, was acknowledged back).
+        """
         if self._server is None:
             raise RuntimeError("no server attached to transport")
+        if self.reliability is not None and getattr(message, "reliable", False):
+            return self.reliability.reliable_uplink(message)
         bits = message.bits  # type: ignore[attr-defined]
         sender = getattr(message, "oid", None)
         self.ledger.record_uplink(type(message).__name__, bits, sender=sender)
         if self.trace is not None:
             self.trace.record(self._step, "uplink", type=type(message).__name__, oid=sender)
         if self.loss is not None and self.loss.drop_uplink(message):
-            return  # sent (and accounted) but lost in transit
+            return False  # sent (and accounted) but lost in transit
         self._server.on_uplink(message)
+        return True
 
-    def send(self, oid: ObjectId, message: object) -> None:
-        """Server -> one object (counted as a single downlink message)."""
+    def send(self, oid: ObjectId, message: object) -> bool:
+        """Server -> one object (counted as a single downlink message).
+
+        Returns whether the receiver got the message (acknowledged, for
+        reliable messages under fault injection).
+        """
+        if self.reliability is not None and getattr(message, "reliable", False):
+            return self.reliability.reliable_send(oid, message)
         bits = message.bits  # type: ignore[attr-defined]
         self.ledger.record_downlink(type(message).__name__, bits, receivers=(oid,), broadcasts=1)
         if self.trace is not None:
             self.trace.record(self._step, "send", type=type(message).__name__, oid=oid)
-        if self.loss is not None and self.loss.drop_delivery(message):
-            return
-        client = self._clients.get(oid)
-        if client is not None:
-            client.on_downlink(message)
+        return self._deliver(oid, message)
 
     def broadcast(self, region: Iterable[CellIndex], message: object) -> int:
         """Server -> the objects of a grid-cell region.
@@ -191,10 +228,28 @@ class SimulatedTransport:
                 stations=len(station_ids),
                 receivers=len(receivers),
             )
-        for oid in receivers:
-            if self.loss is not None and self.loss.drop_delivery(message):
-                continue
-            client = self._clients.get(oid)
-            if client is not None:
-                client.on_downlink(message)
+        for oid in sorted(receivers):
+            self._deliver(oid, message)
         return len(station_ids)
+
+    def _deliver(self, oid: ObjectId, message: object) -> bool:
+        """One receiver's downlink hop: loss roll, sequencing, handover.
+
+        Receivers without an attached radio are skipped before any loss
+        roll -- there is no radio to miss the message, so no drop is
+        counted and no randomness is consumed.
+        """
+        client = self._clients.get(oid)
+        if client is None:
+            return False
+        dropped = self.loss is not None and self.loss.drop_delivery(message, receiver=oid)
+        if self.reliability is not None:
+            seq = self.next_downlink_seq(oid)
+            if not dropped:
+                observe = getattr(client, "observe_downlink_seq", None)
+                if observe is not None:
+                    observe(seq)
+        if dropped:
+            return False
+        client.on_downlink(message)
+        return True

@@ -101,8 +101,10 @@ PAPER_EXPECTATIONS: dict[str, str] = {
     ),
     "ablation-loss": (
         "Extension (the paper assumes reliable delivery): independent "
-        "Bernoulli message loss degrades accuracy gracefully; zero loss is "
-        "exact."
+        "Bernoulli loss degrades accuracy gracefully (zero loss is exact); "
+        "Gilbert-Elliott burst channels and scheduled disconnections run "
+        "through the fault-injection subsystem's reliability + recovery "
+        "machinery."
     ),
     "ablation-mobility": (
         "Extension: the paper's random-velocity-change model vs the standard "

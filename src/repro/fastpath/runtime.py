@@ -15,10 +15,13 @@ phases of :class:`~repro.core.system.MobiEyesSystem`:
   reference loop, so skipping them is unobservable.
 - *evaluation*: one system-wide :class:`BatchEvaluator` pass.
 
-The reporting scan relies on a protocol invariant: a client's ``has_mq``
-flag tracks server-side FOT membership exactly, because the
-``FocalRoleNotification`` transitions are synchronous and loss-exempt.
-``check_invariants`` in the test suite asserts FOT consistency each step.
+The reporting scan picks dead-reckoning candidates from the system's
+``focal_flags`` -- the client-side registry of who believes it has moving
+queries -- rather than the server's FOT.  The two agree in fault-free
+runs (``FocalRoleNotification`` transitions are synchronous), but lease
+suspension removes an object from the FOT while its client still acts
+focal; the reference loop drives clients off ``has_mq``, so the scan
+must too.
 """
 
 from __future__ import annotations
@@ -91,7 +94,7 @@ class FastpathRuntime:
         now = clock.now_hours
         changed = (store.cell_i != self.last_i) | (store.cell_j != self.last_j)
         candidates = set(store.oids[changed].tolist()) if changed.any() else set()
-        candidates.update(self.system.server.fot.ids())
+        candidates.update(self.system.focal_flags)
         if not candidates:
             return
         clients = self.system.clients

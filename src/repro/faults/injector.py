@@ -1,0 +1,144 @@
+"""The fault injector: a loss model that tells the truth.
+
+:class:`FaultInjector` is a drop-in for
+:class:`~repro.network.loss.LossModel` on the transport's ``loss`` seam,
+with three differences:
+
+- besides a stochastic channel it applies *scheduled* faults: an offline
+  object's traffic drops in both directions, and any message whose
+  sender's or receiver's serving base station is dead drops too;
+- it does **not** exempt reliable messages -- attaching an injector makes
+  the transport route them through the explicit ack/retransmit layer
+  (:mod:`repro.faults.reliability`) instead, whose retries it also rolls;
+- drops are counted per cause, so a chaos report can attribute loss to
+  disconnections, outages, or the channel.
+
+The serving station of an object is the station of its lattice tile (the
+same choice :meth:`~repro.network.basestation.BaseStationLayout
+.station_covering` makes for uplinks); downlink reachability is modeled
+through the same station, a deliberate simplification that keeps the
+drop decision a pure function of (schedule, object position).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.faults.channels import BernoulliChannel, GilbertElliottChannel
+from repro.faults.policy import ReliabilityPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.geometry import Point
+from repro.mobility.model import ObjectId
+from repro.network.basestation import BaseStationLayout
+from repro.sim.rng import SimulationRng
+
+Channel = BernoulliChannel | GilbertElliottChannel
+Locator = Callable[[ObjectId], Point]
+
+
+class FaultInjector:
+    """Schedule-driven and channel-driven loss with per-cause accounting.
+
+    The ``dropped_uplinks`` / ``dropped_deliveries`` counters mirror
+    :class:`~repro.network.loss.LossModel` so existing instrumentation
+    keeps working; ``drops_by_cause`` splits them into ``disconnect``,
+    ``outage``, and ``channel``.
+    """
+
+    def __init__(
+        self,
+        rng: SimulationRng,
+        schedule: FaultSchedule | None = None,
+        policy: ReliabilityPolicy | None = None,
+        uplink_channel: Channel | None = None,
+        downlink_channel: Channel | None = None,
+    ) -> None:
+        self.rng = rng
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.policy = policy if policy is not None else ReliabilityPolicy()
+        self.uplink_channel = uplink_channel
+        self.downlink_channel = downlink_channel
+        self.dropped_uplinks = 0
+        self.dropped_deliveries = 0
+        self.drops_by_cause: Counter = Counter()
+        self._offline: frozenset[ObjectId] = frozenset()
+        self._dead: frozenset[int] = frozenset()
+        self._layout: BaseStationLayout | None = None
+        self._locator: Locator | None = None
+
+    # ------------------------------------------------------------- wiring
+
+    def bind(self, layout: BaseStationLayout, locator: Locator) -> None:
+        """Attach the station layout and an ``oid -> position`` resolver
+        (done by :class:`~repro.core.system.MobiEyesSystem`)."""
+        self._layout = layout
+        self._locator = locator
+
+    def begin_step(self, step: int) -> None:
+        """Activate the schedule windows covering ``step``."""
+        self._offline, self._dead = self.schedule.at(step)
+
+    # ---------------------------------------------------------- predicates
+
+    def offline(self, oid: ObjectId) -> bool:
+        """Whether the object is inside an active disconnection window."""
+        return oid in self._offline
+
+    def station_dead_for(self, oid: ObjectId) -> bool:
+        """Whether the object's serving base station is currently dead."""
+        if not self._dead or self._layout is None or self._locator is None:
+            return False
+        tile = self._layout.tile_of_point(self._locator(oid))
+        return self._layout.station_at_tile(tile).bsid in self._dead
+
+    def carrier_lost(self, oid: ObjectId) -> bool:
+        """Whether the object can locally tell it has no connectivity.
+
+        Scheduled faults are carrier-level: a disconnected device or one
+        whose serving station is down sees no signal, and real radios
+        detect that without any round trip.  Channel loss is invisible
+        here -- a device cannot sense that an individual packet died.
+        """
+        return self.offline(oid) or self.station_dead_for(oid)
+
+    def _fault_cause(self, oid: ObjectId | None, channel: Channel | None) -> str | None:
+        if oid is not None:
+            if oid in self._offline:
+                return "disconnect"
+            if self.station_dead_for(oid):
+                return "outage"
+        if channel is not None and channel.roll():
+            return "channel"
+        return None
+
+    # ------------------------------------------------------- loss interface
+
+    def drop_uplink(self, message: object) -> bool:
+        """Whether this object -> server message is lost in transit."""
+        oid = getattr(message, "oid", None)
+        cause = self._fault_cause(oid, self.uplink_channel)
+        if cause is None:
+            return False
+        self.dropped_uplinks += 1
+        self.drops_by_cause[f"uplink-{cause}"] += 1
+        return True
+
+    def drop_delivery(self, message: object, receiver: ObjectId | None = None) -> bool:
+        """Whether one receiver misses this downlink message."""
+        cause = self._fault_cause(receiver, self.downlink_channel)
+        if cause is None:
+            return False
+        self.dropped_deliveries += 1
+        self.drops_by_cause[f"downlink-{cause}"] += 1
+        return True
+
+    # ---------------------------------------------------------- inspection
+
+    def counters(self) -> dict:
+        """A JSON-friendly snapshot of the drop accounting."""
+        return {
+            "dropped_uplinks": self.dropped_uplinks,
+            "dropped_deliveries": self.dropped_deliveries,
+            "by_cause": {key: self.drops_by_cause[key] for key in sorted(self.drops_by_cause)},
+        }

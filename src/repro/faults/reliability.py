@@ -1,0 +1,136 @@
+"""Ack/retransmit delivery for reliable messages.
+
+The plain :class:`~repro.network.loss.LossModel` hand-waves reliability
+by exempting control-plane messages from loss.  This layer earns it: a
+reliable message is (re)transmitted up to ``policy.max_attempts`` times
+in back-to-back sub-step rounds, the receiver acknowledges each copy it
+hears with an :class:`~repro.core.messages.Ack`, and the exchange
+succeeds only when the *sender* sees an ack.  Every transmission attempt
+and every ack is charged to the :class:`~repro.network.messaging
+.MessageLedger`, so under faults the message/energy figures include the
+price of reliability -- nothing is free.
+
+Sequencing and dedup: each reliable uplink gets a per-sender sequence
+number and each reliable downlink occupies one slot in the receiver's
+downlink sequence stream (the same stream unreliable deliveries bump, so
+a reliable message that exhausts its retries leaves a detectable gap).
+The receiver processes only the first copy that arrives -- duplicates
+caused by a lost ack are suppressed, which is what the echoed sequence
+number buys in a real stack.
+
+Timeouts are implicit: within-step delivery is synchronous, so "no ack
+came back" is known immediately and the retry happens in the same step
+(see :mod:`repro.faults.policy` on sub-step rounds).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.messages import Ack
+from repro.faults.injector import FaultInjector
+from repro.mobility.model import ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transport import SimulatedTransport
+
+
+class ReliabilityLayer:
+    """Bounded-retry delivery of reliable messages over a fault injector."""
+
+    def __init__(self, transport: "SimulatedTransport", injector: FaultInjector) -> None:
+        self.transport = transport
+        self.injector = injector
+        self.policy = injector.policy
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.ack_drops = 0
+        self.failures = 0
+        self.duplicates_suppressed = 0
+        self._uplink_seq: dict[ObjectId, int] = {}
+
+    # ------------------------------------------------------------- uplink
+
+    def reliable_uplink(self, message: object) -> bool:
+        """Deliver an object -> server message with retries; True if acked."""
+        transport = self.transport
+        sender = getattr(message, "oid", None)
+        bits = message.bits  # type: ignore[attr-defined]
+        name = type(message).__name__
+        seq = self._uplink_seq.get(sender, 0) + 1
+        self._uplink_seq[sender] = seq
+        ack = Ack(oid=sender, seq=seq)
+        delivered = False
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retransmissions += 1
+            transport.ledger.record_uplink(name, bits, sender=sender)
+            if transport.trace is not None:
+                transport.trace.record(transport.step, "uplink", type=name, oid=sender)
+            if self.injector.drop_uplink(message):
+                continue
+            if delivered:
+                self.duplicates_suppressed += 1
+            else:
+                delivered = True
+                transport._server.on_uplink(message)
+            transport.ledger.record_downlink("Ack", ack.bits, receivers=(sender,), broadcasts=1)
+            self.acks_sent += 1
+            if not self.injector.drop_delivery(ack, receiver=sender):
+                return True
+            self.ack_drops += 1
+        self.failures += 1
+        return False
+
+    # ------------------------------------------------------------ downlink
+
+    def reliable_send(self, oid: ObjectId, message: object) -> bool:
+        """Deliver a server -> object message with retries; True if acked."""
+        transport = self.transport
+        bits = message.bits  # type: ignore[attr-defined]
+        name = type(message).__name__
+        client = transport._clients.get(oid)
+        if client is None:
+            # No radio attached: transmit once (the sender cannot know) and
+            # give up -- nothing on the far side will ever ack.
+            transport.ledger.record_downlink(name, bits, receivers=(oid,), broadcasts=1)
+            self.failures += 1
+            return False
+        seq = transport.next_downlink_seq(oid)
+        ack = Ack(oid=oid, seq=seq)
+        delivered = False
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retransmissions += 1
+            transport.ledger.record_downlink(name, bits, receivers=(oid,), broadcasts=1)
+            if transport.trace is not None:
+                transport.trace.record(transport.step, "send", type=name, oid=oid)
+            if self.injector.drop_delivery(message, receiver=oid):
+                continue
+            if delivered:
+                self.duplicates_suppressed += 1
+            else:
+                delivered = True
+                observe = getattr(client, "observe_downlink_seq", None)
+                if observe is not None:
+                    observe(seq)
+                client.on_downlink(message)
+            transport.ledger.record_uplink("Ack", ack.bits, sender=oid)
+            self.acks_sent += 1
+            if not self.injector.drop_uplink(ack):
+                return True
+            self.ack_drops += 1
+        self.failures += 1
+        return False
+
+    # ---------------------------------------------------------- inspection
+
+    def counters(self) -> dict:
+        """A JSON-friendly snapshot of the reliability accounting."""
+        return {
+            "retransmissions": self.retransmissions,
+            "acks_sent": self.acks_sent,
+            "ack_drops": self.ack_drops,
+            "failures": self.failures,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }

@@ -1,0 +1,80 @@
+"""Scriptable deterministic fault schedules.
+
+A schedule is a set of half-open step windows: per-object disconnections
+(the device is in a tunnel / its battery died -- all its traffic drops,
+both directions) and base-station outages (all traffic *through* the dead
+station drops).  The windows are pure data, so a schedule is trivially
+reproducible and serializable into a chaos report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.model import ObjectId
+from repro.network.basestation import BaseStationId
+
+
+@dataclass(frozen=True, slots=True)
+class DisconnectWindow:
+    """Object ``oid`` is off the air for steps ``start <= step < end``."""
+
+    oid: ObjectId
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+
+    def active(self, step: int) -> bool:
+        """Whether the window covers ``step``."""
+        return self.start <= step < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class StationOutage:
+    """Base station ``bsid`` is dead for steps ``start <= step < end``."""
+
+    bsid: BaseStationId
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+
+    def active(self, step: int) -> bool:
+        """Whether the window covers ``step``."""
+        return self.start <= step < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """A fixed script of disconnections and station outages."""
+
+    disconnects: tuple[DisconnectWindow, ...] = ()
+    outages: tuple[StationOutage, ...] = ()
+
+    def at(self, step: int) -> tuple[frozenset[ObjectId], frozenset[BaseStationId]]:
+        """The (offline objects, dead stations) active at ``step``."""
+        offline = frozenset(w.oid for w in self.disconnects if w.active(step))
+        dead = frozenset(o.bsid for o in self.outages if o.active(step))
+        return offline, dead
+
+    @property
+    def last_step(self) -> int:
+        """The last step at which any scheduled fault is still active."""
+        ends = [w.end for w in self.disconnects] + [o.end for o in self.outages]
+        return max(ends) - 1 if ends else -1
+
+    def describe(self) -> dict:
+        """A JSON-friendly rendering of the schedule (for chaos reports)."""
+        return {
+            "disconnects": [
+                {"oid": w.oid, "start": w.start, "end": w.end} for w in self.disconnects
+            ],
+            "outages": [
+                {"bsid": o.bsid, "start": o.start, "end": o.end} for o in self.outages
+            ],
+        }

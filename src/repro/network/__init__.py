@@ -1,7 +1,7 @@
 """Wireless network substrate: base stations, messaging, radio energy."""
 
 from repro.network.basestation import BaseStation, BaseStationId, BaseStationLayout
-from repro.network.loss import RELIABLE_MESSAGE_TYPES, LossModel
+from repro.network.loss import LossModel, is_reliable
 from repro.network.messaging import LedgerSnapshot, MessageLedger
 from repro.network.radio import RadioModel
 
@@ -12,6 +12,6 @@ __all__ = [
     "LedgerSnapshot",
     "LossModel",
     "MessageLedger",
-    "RELIABLE_MESSAGE_TYPES",
     "RadioModel",
+    "is_reliable",
 ]

@@ -6,7 +6,8 @@ from repro.core.messages import MotionStateRequest, VelocityChangeReport
 from repro.core import PropagationMode
 from repro.geometry import Point, Vector
 from repro.mobility import MotionState
-from repro.network import LossModel, RELIABLE_MESSAGE_TYPES
+from repro.core.messages import FocalRoleNotification
+from repro.network import LossModel, is_reliable
 from repro.sim import SimulationRng
 
 from tests.conftest import circle_query, make_object, make_system
@@ -34,7 +35,8 @@ class TestLossModel:
         request = MotionStateRequest(oid=1)
         assert not loss.drop_uplink(request)
         assert not loss.drop_delivery(request)
-        assert "FocalRoleNotification" in RELIABLE_MESSAGE_TYPES
+        assert is_reliable(FocalRoleNotification(oid=1, has_mq=True))
+        assert not is_reliable(velocity_report())
 
     def test_counters(self):
         loss = LossModel(SimulationRng(1), uplink_loss_rate=1.0)
