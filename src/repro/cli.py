@@ -147,7 +147,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.fastpath.bench import run_bench
 
-    run_bench(tag=args.tag, smoke=args.smoke, out_dir=args.output)
+    run_bench(tag=args.tag, smoke=args.smoke, out_dir=args.output, shards=args.shards)
     return 0
 
 
@@ -183,6 +183,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             uplink_loss=args.uplink_loss,
             downlink_loss=args.downlink_loss,
             burst=args.burst,
+            shards=args.shards,
         )
 
     failed = False
@@ -278,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", default=None, help="directory for the artifact (default: current directory)"
     )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="server shards behind the coordinator (default 1 = monolithic server); "
+        "the report gains per-shard load-balance figures when > 1",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     chaos = sub.add_parser(
@@ -309,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--burst",
         action="store_true",
         help="use Gilbert-Elliott burst channels instead of Bernoulli",
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="server shards behind the coordinator (default 1 = monolithic server)",
     )
     chaos.add_argument("--tag", default=None, help="artifact tag (default: 'local'/'smoke')")
     chaos.add_argument(

@@ -1,7 +1,12 @@
 """The MobiEyes distributed moving-query protocol (the paper's contribution)."""
 
+from repro.core.broadcast import BroadcastPlanner
 from repro.core.client import ClientStats, MobiEyesClient
 from repro.core.config import MobiEyesConfig
+from repro.core.coordinator import Coordinator
+from repro.core.focal import FocalTracker
+from repro.core.load import LoadAccount
+from repro.core.partition import GridPartitioner
 from repro.core.propagation import PropagationMode
 from repro.core.query import (
     AndFilter,
@@ -14,8 +19,10 @@ from repro.core.query import (
     QuerySpec,
     TrueFilter,
 )
+from repro.core.registry import QueryRegistry
 from repro.core.safe_period import safe_period_hours
 from repro.core.server import MobiEyesServer
+from repro.core.shard import ServerShard
 from repro.core.system import MobiEyesSystem
 from repro.core.tables import (
     FocalObjectTable,
@@ -29,7 +36,12 @@ from repro.core.transport import SimulatedTransport
 
 __all__ = [
     "AndFilter",
+    "BroadcastPlanner",
     "ClientStats",
+    "Coordinator",
+    "FocalTracker",
+    "GridPartitioner",
+    "LoadAccount",
     "NotFilter",
     "OrFilter",
     "PropertyEqualsFilter",
@@ -40,6 +52,8 @@ __all__ = [
     "MobiEyesConfig",
     "MobiEyesServer",
     "MobiEyesSystem",
+    "QueryRegistry",
+    "ServerShard",
     "MovingQuery",
     "PropagationMode",
     "QueryFilter",

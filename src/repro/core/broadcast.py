@@ -1,0 +1,76 @@
+"""Broadcast planner: query grouping and monitoring-region broadcasts.
+
+One of the three layered server components (registry / focal tracker /
+broadcast planner).  The planner decides *how* server-to-region messages
+go out: which queries ride together in one broadcast (the paper's
+Section 4.1 query grouping), in what order groups are emitted, and how a
+query descriptor is assembled from its SQT entry and its focal object's
+state.
+
+Group emission order is explicitly sorted by the group's smallest query
+id.  For the monolithic server this matches the old first-occurrence
+dict order (queries arrive qid-ascending), but behind the coordinator a
+shard's table order depends on handoff history, so the explicit sort is
+what keeps multi-shard broadcast schedules deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import QueryDescriptor
+from repro.core.tables import FotEntry, SqtEntry
+from repro.core.transport import SimulatedTransport
+from repro.grid import CellRange
+
+
+class BroadcastPlanner:
+    """Grouping and emission of monitoring-region broadcasts."""
+
+    def __init__(self, transport: SimulatedTransport, grouping: bool) -> None:
+        self.transport = transport
+        self.grouping = grouping
+
+    def groups(self, queries: list[SqtEntry]) -> list[tuple[CellRange, list[SqtEntry]]]:
+        """Group queries for broadcasting.
+
+        With grouping enabled (Section 4.1), queries sharing the focal
+        object *and* the monitoring region ride in one broadcast; groups
+        are keyed by monitoring region.  With grouping disabled every
+        query is broadcast separately.  Groups come out sorted by their
+        smallest query id.
+        """
+        if not self.grouping:
+            return [(e.mon_region, [e]) for e in sorted(queries, key=lambda e: e.qid)]
+        grouped: dict[CellRange, list[SqtEntry]] = {}
+        for entry in sorted(queries, key=lambda e: e.qid):
+            grouped.setdefault(entry.mon_region, []).append(entry)
+        return sorted(grouped.items(), key=lambda item: item[1][0].qid)
+
+    def send(self, region: CellRange | set, message: object) -> int:
+        """Broadcast a message to every base station covering a region;
+        returns the number of station broadcasts used."""
+        return self.transport.broadcast(region, message)
+
+    @staticmethod
+    def descriptor(entry: SqtEntry, focal: FotEntry | None) -> QueryDescriptor:
+        """Assemble the over-the-air descriptor of one query.  ``focal`` is
+        the focal object's FOT entry (None for static queries)."""
+        if entry.is_static:
+            return QueryDescriptor(
+                qid=entry.qid,
+                oid=None,
+                region=entry.region,
+                filter=entry.filter,
+                focal_state=None,
+                focal_max_speed=0.0,
+                mon_region=entry.mon_region,
+            )
+        assert focal is not None
+        return QueryDescriptor(
+            qid=entry.qid,
+            oid=entry.oid,
+            region=entry.region,
+            filter=entry.filter,
+            focal_state=focal.state,
+            focal_max_speed=focal.max_speed,
+            mon_region=entry.mon_region,
+        )

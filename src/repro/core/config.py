@@ -40,6 +40,14 @@ class MobiEyesConfig:
             LQT evaluation through the numpy-backed
             :mod:`repro.fastpath` engine, producing bit-identical results
             and message traffic.  Requires numpy.
+        shards: number of grid-partitioned server shards.  ``1`` runs the
+            monolithic server; larger values split the grid into contiguous
+            column stripes, each served by a
+            :class:`~repro.core.shard.ServerShard` behind a
+            :class:`~repro.core.coordinator.Coordinator` that routes
+            uplinks by cell and hands focal ownership across shard
+            boundaries.  Counts exceeding the number of grid columns are
+            clamped.
     """
 
     uod: Rect
@@ -54,6 +62,7 @@ class MobiEyesConfig:
     static_beacon_steps: int = 10
     radio: RadioModel = field(default_factory=RadioModel)
     engine: str = "reference"
+    shards: int = 1
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -71,6 +80,8 @@ class MobiEyesConfig:
             raise ValueError("static_beacon_steps must be non-negative")
         if self.engine not in ("reference", "vectorized"):
             raise ValueError(f"engine must be 'reference' or 'vectorized', got {self.engine!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

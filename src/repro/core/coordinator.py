@@ -1,0 +1,459 @@
+"""Coordinator: routes the MobiEyes protocol across grid-partitioned shards.
+
+The coordinator is the transport's uplink sink and the system's
+server-compatible facade when ``config.shards > 1``.  It owns no protocol
+tables itself; it builds one :class:`~repro.core.shard.ServerShard` per
+contiguous column stripe of the grid (see
+:class:`~repro.core.partition.GridPartitioner`) plus three directories
+that stay in sync through component callbacks:
+
+- ``owner_of``: query id -> owning shard (registry ``on_added`` /
+  ``on_removed``),
+- ``_focal_home``: focal object -> shard owning its queries (same
+  callbacks, keyed by the entry's focal),
+- ``_fot_home``: object -> shard holding its FOT entry (focal tracker
+  ``on_change``).
+
+Routing: cell-change reports go to the shard owning the *new* cell
+(triggering a focal handoff when the sender's queries live elsewhere);
+result-change reports go to the shard owning the sender's current cell;
+everything else follows the sender's home directory, falling back to the
+sender's cell.  Under soft-state leases the coordinator also guarantees
+the lease touch: if a message routed away from the sender's home shard,
+the home is touched too, so a focal object that only ever talks to
+foreign shards (e.g. result reports for queries it monitors) can never
+be suspended by silence that is an artifact of partitioning.
+
+Query installation, removal, lease expiry, static beacons, load
+aggregation, and the read-only ``fot`` / ``sqt`` / ``rqi`` views fan out
+across shards in deterministic (shard id, then key-sorted) order.  With
+one shard every route resolves to shard 0 and the coordinated system is
+bit-identical to the monolithic server.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Callable, Iterator
+
+from repro.core.config import MobiEyesConfig
+from repro.core.focal import FocalTracker
+from repro.core.messages import (
+    CellChangeReport,
+    MotionStateRequest,
+    ResultChangeReport,
+)
+from repro.core.partition import GridPartitioner
+from repro.core.query import MovingQuery, QueryId, QuerySpec
+from repro.core.registry import QueryRegistry, ResultCallback
+from repro.core.shard import ServerShard
+from repro.core.tables import FotEntry, SqtEntry
+from repro.core.transport import SimulatedTransport
+from repro.grid import CellIndex, Grid
+from repro.mobility.model import ObjectId
+
+
+class Coordinator:
+    """Server facade dispatching the protocol across grid shards."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        transport: SimulatedTransport,
+        config: MobiEyesConfig,
+        num_shards: int | None = None,
+    ) -> None:
+        self.grid = grid
+        self.transport = transport
+        self.config = config
+        requested = num_shards if num_shards is not None else config.shards
+        self.partitioner = GridPartitioner(grid, requested)
+        self.owner_of: dict[QueryId, int] = {}
+        self._focal_home: dict[ObjectId, int] = {}
+        self._fot_home: dict[ObjectId, int] = {}
+        self._subscribers: dict[QueryId, list[ResultCallback]] = {}
+        self._next_qid: QueryId = 1
+        self._leases_on = False
+        self.shards: list[ServerShard] = []
+        for sid in range(self.partitioner.num_shards):
+            registry = QueryRegistry(
+                on_added=self._added_callback(sid),
+                on_removed=self._removed_callback(sid),
+                subscribers=self._subscribers,
+            )
+            tracker = FocalTracker(on_change=self._fot_callback(sid))
+            self.shards.append(
+                ServerShard(
+                    grid,
+                    transport,
+                    config,
+                    coordinator=self,
+                    shard_id=sid,
+                    partitioner=self.partitioner,
+                    registry=registry,
+                    tracker=tracker,
+                )
+            )
+        self._sqt_view = _SqtView(self)
+        self._fot_view = _FotView(self)
+        self._rqi_view = _RqiView(self)
+        transport.enable_cell_routing()
+        transport.attach_server(self)
+
+    @property
+    def num_shards(self) -> int:
+        """The effective shard count (requests beyond the grid's columns
+        are clamped by the partitioner)."""
+        return self.partitioner.num_shards
+
+    # ------------------------------------------------ directory callbacks
+
+    def _added_callback(self, sid: int) -> Callable[[SqtEntry], None]:
+        def on_added(entry: SqtEntry) -> None:
+            self.owner_of[entry.qid] = sid
+            if entry.oid is not None:
+                self._focal_home[entry.oid] = sid
+
+        return on_added
+
+    def _removed_callback(self, sid: int) -> Callable[[SqtEntry, bool], None]:
+        def on_removed(entry: SqtEntry, focal_left: bool) -> None:
+            self.owner_of.pop(entry.qid, None)
+            if entry.oid is not None and not focal_left:
+                if self._focal_home.get(entry.oid) == sid:
+                    del self._focal_home[entry.oid]
+
+        return on_removed
+
+    def _fot_callback(self, sid: int) -> Callable[[ObjectId, bool], None]:
+        def on_change(oid: ObjectId, present: bool) -> None:
+            if present:
+                self._fot_home[oid] = sid
+            elif self._fot_home.get(oid) == sid:
+                del self._fot_home[oid]
+
+        return on_change
+
+    # ------------------------------------------------------------ routing
+
+    def _home_of(self, oid: ObjectId) -> int | None:
+        home = self._focal_home.get(oid)
+        if home is None:
+            home = self._fot_home.get(oid)
+        return home
+
+    def shard_for_uplink(self, message: object) -> int:
+        """The shard an uplink message is dispatched to (also the ack
+        endpoint the reliability layer keys its sequence streams by)."""
+        if isinstance(message, CellChangeReport):
+            return self.partitioner.shard_of_cell(message.new_cell)
+        if isinstance(message, ResultChangeReport):
+            return self.partitioner.shard_of_cell(self.transport.sender_cell(message.oid))
+        oid = getattr(message, "oid", None)
+        if oid is None:
+            return 0
+        home = self._home_of(oid)
+        if home is not None:
+            return home
+        return self.partitioner.shard_of_cell(self.transport.sender_cell(oid))
+
+    def on_uplink(self, message: object) -> None:
+        """Dispatch an object -> server message to the responsible shard."""
+        endpoint = self.shard_for_uplink(message)
+        if self._leases_on:
+            # Lease-touch guarantee: a sender whose traffic all routes to
+            # foreign shards must still refresh its lease at home.
+            oid = getattr(message, "oid", None)
+            if oid is not None:
+                home = self._home_of(oid)
+                if home is not None and home != endpoint:
+                    self.shards[home]._touch_lease(message)
+        self.shards[endpoint].on_uplink(message)
+
+    # ---------------------------------------------------- focal handoff
+
+    def migrate_focal(self, oid: ObjectId, to: int) -> None:
+        """Move an object's queries and focal state to shard ``to``.
+
+        Called by the target shard when a grid-cell crossing lands the
+        object in its territory.  The SQT entries and tracker state
+        (including lease freshness and any suspension record) migrate;
+        RQI registrations stay put -- they are cell-owned, not
+        focal-owned.  No-op when the object is already home or unknown.
+        """
+        src = self._home_of(oid)
+        if src is None or src == to:
+            return
+        source = self.shards[src]
+        target = self.shards[to]
+        with target.load.timed():
+            for entry in list(source.registry.queries_of_focal(oid)):
+                source.registry.release(entry.qid)
+                target.registry.adopt(entry)
+                target.load.ops += 1
+            packed = source.tracker.export_state(oid)
+            source.tracker.evict(oid)
+            target.tracker.import_state(oid, packed)
+            target.load.ops += 1
+
+    # ---------------------------------------------- shard-facing lookups
+
+    def allocate_qid(self) -> QueryId:
+        """Claim the next globally unique query id."""
+        qid = self._next_qid
+        self._next_qid += 1
+        return qid
+
+    def focal_entry(self, oid: ObjectId) -> FotEntry:
+        """The FOT entry of an object, wherever it lives."""
+        home = self._fot_home[oid]
+        return self.shards[home].tracker.get(oid)
+
+    def queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
+        """Query ids registered at a cell, from the cell owner's RQI."""
+        shard = self.partitioner.shard_of_cell(cell)
+        return self.shards[shard].registry.queries_at(cell)
+
+    def entry_of(self, qid: QueryId) -> SqtEntry:
+        """The SQT entry of a query, from its owning shard."""
+        return self.shards[self.owner_of[qid]].registry.get(qid)
+
+    def result_entry(self, qid: QueryId) -> SqtEntry | None:
+        """The entry a result change applies to, or None if the query no
+        longer exists anywhere."""
+        owner = self.owner_of.get(qid)
+        if owner is None:
+            return None
+        return self.shards[owner].registry.get(qid)
+
+    def purge_object(self, oid: ObjectId) -> list[QueryId]:
+        """Drop an object from every result set on every shard; returns
+        the affected query ids in ascending order."""
+        purged: list[QueryId] = []
+        for shard in self.shards:
+            purged.extend(shard.registry.purge_object(oid))
+        purged.sort()
+        return purged
+
+    # ------------------------------------------------------- server API
+
+    def install_query(self, spec: QuerySpec) -> QueryId:
+        """Install a query on its owning shard.
+
+        Static queries belong to the shard owning the monitoring region's
+        lower-left cell.  Moving queries belong to the focal object's home
+        shard; for a brand-new focal the coordinator first requests its
+        motion state, and the response -- routed by the sender's current
+        cell -- creates the FOT entry at the shard that becomes the owner.
+        """
+        if spec.is_static:
+            mon_region = self.grid.cells_intersecting(spec.region.bounding_rect())
+            owner = self.partitioner.shard_of_cell((mon_region.lo_i, mon_region.lo_j))
+            return self.shards[owner].install_query(spec)
+        home = self._home_of(spec.oid)
+        if home is None:
+            self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
+            home = self._home_of(spec.oid)
+            if home is None:
+                raise KeyError(f"focal object {spec.oid} did not answer the state request")
+        return self.shards[home].install_query(spec)
+
+    def remove_query(self, qid: QueryId) -> None:
+        """Uninstall a query everywhere (routed to its owning shard)."""
+        owner = self.owner_of.get(qid)
+        if owner is None:
+            raise KeyError(qid)
+        self.shards[owner].remove_query(qid)
+
+    def enable_leases(self, lease_steps: int) -> None:
+        """Arm soft-state leases on every shard."""
+        self._leases_on = True
+        for shard in self.shards:
+            shard.enable_leases(lease_steps)
+
+    def expire_leases(self, step: int) -> None:
+        """Expire leases shard by shard, each in ascending object order."""
+        for shard in self.shards:
+            shard.expire_leases(step)
+
+    def beacon_static_queries(self) -> int:
+        """Re-broadcast static query descriptors from every shard."""
+        return sum(shard.beacon_static_queries() for shard in self.shards)
+
+    def subscribe(self, qid: QueryId, callback: ResultCallback) -> None:
+        """Register a result-change callback (fires once per change, from
+        whichever shard applies it -- the subscriber book is shared)."""
+        if qid not in self.owner_of:
+            raise KeyError(f"unknown query {qid}")
+        self._subscribers.setdefault(qid, []).append(callback)
+
+    def unsubscribe(self, qid: QueryId, callback: ResultCallback) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self._subscribers.get(qid)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def query_result(self, qid: QueryId) -> frozenset[ObjectId]:
+        """The current (differentially maintained) result of a query."""
+        return frozenset(self.entry_of(qid).result)
+
+    def installed_queries(self) -> list[MovingQuery]:
+        """All installed queries as MovingQuery values, qid-ascending."""
+        return [
+            MovingQuery(qid=e.qid, oid=e.oid, region=e.region, filter=e.filter)
+            for e in self._sqt_view.entries()
+        ]
+
+    def nearby_queries(self, cell: CellIndex) -> frozenset[QueryId]:
+        """Query ids whose monitoring region covers the cell."""
+        return self.queries_at(cell)
+
+    # ---------------------------------------------------------- load
+
+    @property
+    def load_seconds(self) -> float:
+        """Wall seconds spent across all shards since the last reset."""
+        return sum(shard.load.seconds for shard in self.shards)
+
+    @property
+    def op_count(self) -> int:
+        """Abstract operations across all shards since the last reset."""
+        return sum(shard.load.ops for shard in self.shards)
+
+    def reset_load(self) -> tuple[float, int]:
+        """Return and clear the aggregated (seconds, ops) load counters."""
+        seconds = 0.0
+        ops = 0
+        for shard in self.shards:
+            shard_seconds, shard_ops = shard.reset_load()
+            seconds += shard_seconds
+            ops += shard_ops
+        return seconds, ops
+
+    def shard_loads(self) -> list[dict]:
+        """Per-shard lifetime load totals (for the bench's balance report)."""
+        out = []
+        for shard in self.shards:
+            lo, hi = self.partitioner.columns_of(shard.shard_id)
+            out.append(
+                {
+                    "shard": shard.shard_id,
+                    "columns": [lo, hi],
+                    "ops": shard.load.total_ops + shard.load.ops,
+                    "seconds": shard.load.total_seconds + shard.load.seconds,
+                    "queries": len(shard.registry),
+                    "focals": len(shard.tracker.fot),
+                }
+            )
+        return out
+
+    # ------------------------------------------------------ table views
+
+    @property
+    def sqt(self) -> "_SqtView":
+        """Aggregate read view over every shard's server query table."""
+        return self._sqt_view
+
+    @property
+    def fot(self) -> "_FotView":
+        """Aggregate read view over every shard's focal object table."""
+        return self._fot_view
+
+    @property
+    def rqi(self) -> "_RqiView":
+        """Aggregate read view over every shard's reverse query index."""
+        return self._rqi_view
+
+    # --------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Per-shard invariants plus the cross-shard partition and
+        directory consistency rules."""
+        for shard in self.shards:
+            shard.check_invariants()
+        for shard in self.shards:
+            sid = shard.shard_id
+            for entry in shard.registry.entries():
+                assert self.owner_of.get(entry.qid) == sid, (
+                    f"query {entry.qid} owned by shard {sid} but directory says "
+                    f"{self.owner_of.get(entry.qid)}"
+                )
+                if not entry.is_static:
+                    assert self._focal_home.get(entry.oid) == sid, (
+                        f"focal {entry.oid} owns queries on shard {sid} but its home is "
+                        f"{self._focal_home.get(entry.oid)}"
+                    )
+            for oid in shard.tracker.ids():
+                assert self._fot_home.get(oid) == sid, (
+                    f"object {oid} tracked by shard {sid} but FOT directory says "
+                    f"{self._fot_home.get(oid)}"
+                )
+        total = sum(len(shard.registry) for shard in self.shards)
+        assert total == len(self.owner_of), (
+            f"ownership directory has {len(self.owner_of)} queries, shards hold {total}"
+        )
+
+
+class _SqtView:
+    """Qid-ordered read view over every shard's SQT."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self._coord = coordinator
+
+    def __contains__(self, qid: QueryId) -> bool:
+        return qid in self._coord.owner_of
+
+    def __len__(self) -> int:
+        return len(self._coord.owner_of)
+
+    def get(self, qid: QueryId) -> SqtEntry:
+        return self._coord.entry_of(qid)
+
+    def ids(self) -> Iterator[QueryId]:
+        return iter(sorted(self._coord.owner_of))
+
+    def entries(self) -> Iterator[SqtEntry]:
+        return iter([self._coord.entry_of(qid) for qid in sorted(self._coord.owner_of)])
+
+    def is_focal(self, oid: ObjectId) -> bool:
+        return oid in self._coord._focal_home
+
+    def queries_of_focal(self, oid: ObjectId) -> list[SqtEntry]:
+        home = self._coord._focal_home.get(oid)
+        if home is None:
+            return []
+        return self._coord.shards[home].registry.queries_of_focal(oid)
+
+
+class _FotView:
+    """Read view over every shard's FOT, resolved by the home directory."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self._coord = coordinator
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._coord._fot_home
+
+    def __len__(self) -> int:
+        return len(self._coord._fot_home)
+
+    def get(self, oid: ObjectId) -> FotEntry:
+        return self._coord.focal_entry(oid)
+
+    def ids(self) -> Iterator[ObjectId]:
+        return iter(sorted(self._coord._fot_home))
+
+
+class _RqiView:
+    """Read view over the partitioned RQI (each cell has one owner)."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self._coord = coordinator
+
+    def queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
+        return self._coord.queries_at(cell)
+
+    def nonempty_cells(self) -> Iterator[CellIndex]:
+        return chain.from_iterable(
+            shard.registry.rqi.nonempty_cells() for shard in self._coord.shards
+        )

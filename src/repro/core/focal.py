@@ -1,0 +1,132 @@
+"""Focal tracker: the FOT plus soft-state lease bookkeeping.
+
+One of the three layered server components (registry / focal tracker /
+broadcast planner).  The tracker owns one server's focal object table --
+the last reported kinematic state of every focal object it is responsible
+for -- together with the lease machinery wired up under fault injection:
+the last step each object was heard from, and the max-speed bounds of
+focal objects whose queries are currently suspended.
+
+The optional ``on_change`` callback fires on every FOT membership change
+(``on_change(oid, present)``); the coordinator uses it to track which
+shard currently holds each focal object's state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.tables import FocalObjectTable, FotEntry
+from repro.mobility.model import MotionState, ObjectId
+
+
+class FocalTracker:
+    """FOT ownership, lease freshness, and suspension state."""
+
+    def __init__(self, on_change: Callable[[ObjectId, bool], None] | None = None) -> None:
+        self.fot = FocalObjectTable()
+        # Soft-state leases (enabled under fault injection): last step each
+        # object was heard from, and the max-speed bound of focal objects
+        # whose queries are currently suspended.
+        self.lease_steps: int | None = None
+        self.last_heard: dict[ObjectId, int] = {}
+        self.suspended: dict[ObjectId, float] = {}
+        self._on_change = on_change
+
+    # ---------------------------------------------------------------- FOT
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self.fot
+
+    def get(self, oid: ObjectId) -> FotEntry:
+        """The stored kinematic state of a focal object."""
+        return self.fot.get(oid)
+
+    def upsert(self, oid: ObjectId, state: MotionState, max_speed: float) -> FotEntry:
+        """Insert or refresh a focal object's state."""
+        fresh = oid not in self.fot
+        entry = self.fot.upsert(oid, state, max_speed)
+        if fresh and self._on_change is not None:
+            self._on_change(oid, True)
+        return entry
+
+    def update_state(self, oid: ObjectId, state: MotionState) -> None:
+        """Replace the stored motion state of a focal object."""
+        self.fot.update_state(oid, state)
+
+    def remove(self, oid: ObjectId) -> None:
+        """Drop a focal object's state."""
+        self.fot.remove(oid)
+        if self._on_change is not None:
+            self._on_change(oid, False)
+
+    def ids(self) -> Iterator[ObjectId]:
+        """Tracked focal object ids."""
+        return self.fot.ids()
+
+    # -------------------------------------------------------------- leases
+
+    def enable_leases(self, lease_steps: int) -> None:
+        """Arm the soft-state lease machinery."""
+        self.lease_steps = lease_steps
+
+    @property
+    def leases_enabled(self) -> bool:
+        """Whether lease expiry is armed (fault injection only)."""
+        return self.lease_steps is not None
+
+    def touch(self, oid: ObjectId, step: int) -> None:
+        """Record a sign of life from an object."""
+        self.last_heard[oid] = step
+
+    def expired(self, step: int) -> list[ObjectId]:
+        """Focal objects whose lease ran out, in ascending id order (the
+        explicit sort keeps multi-shard expiry deterministic regardless of
+        FOT insertion order)."""
+        if self.lease_steps is None:
+            return []
+        return [
+            oid
+            for oid in sorted(self.fot.ids())
+            if step - self.last_heard.get(oid, 0) > self.lease_steps
+        ]
+
+    def mark_suspended(self, oid: ObjectId, max_speed: float) -> None:
+        """Remember a suspended focal object's max-speed bound."""
+        self.suspended[oid] = max_speed
+
+    def pop_suspended(self, oid: ObjectId) -> float | None:
+        """Clear a suspension record; returns the stored max speed."""
+        return self.suspended.pop(oid, None)
+
+    def is_suspended(self, oid: ObjectId) -> bool:
+        """Whether this focal object's queries are currently suspended."""
+        return oid in self.suspended
+
+    # ----------------------------------------------------------- handoff
+
+    def export_state(self, oid: ObjectId) -> tuple:
+        """Package one object's tracker state for a cross-shard handoff."""
+        entry = self.fot.get(oid) if oid in self.fot else None
+        return (entry, self.last_heard.get(oid), self.suspended.get(oid))
+
+    def import_state(self, oid: ObjectId, packed: tuple) -> None:
+        """Adopt tracker state exported by another shard's tracker."""
+        entry, heard, suspended_speed = packed
+        if entry is not None:
+            self.upsert(oid, entry.state, entry.max_speed)
+        if heard is not None:
+            # Keep the fresher of the exported timestamp and any sign of
+            # life already recorded here (the uplink that triggered the
+            # handoff touches the acquiring shard before the migration).
+            mine = self.last_heard.get(oid)
+            self.last_heard[oid] = heard if mine is None else max(mine, heard)
+        if suspended_speed is not None:
+            self.suspended[oid] = suspended_speed
+
+    def evict(self, oid: ObjectId) -> None:
+        """Forget one object entirely (its state migrated to another shard)."""
+        if oid in self.fot:
+            self.remove(oid)
+        self.last_heard.pop(oid, None)
+        self.suspended.pop(oid, None)

@@ -1,0 +1,103 @@
+"""Shared load accounting for server-side components.
+
+Server load is measured two ways, as in the paper's "time spent executing
+the server side logic per time step":
+
+- ``seconds``: wall-clock time spent inside timed sections, re-entrant
+  (nested sections are counted once), with explicit *pauses* for the spans
+  that are not server work (e.g. waiting on a client round trip).
+- ``ops``: a deterministic abstract operation counter for
+  hardware-independent comparisons (and for the differential tests, which
+  cannot compare wall-clock values).
+
+Every server component -- the monolithic server, and each shard behind the
+coordinator -- charges one :class:`LoadAccount`; per-shard accounts
+aggregate without re-implementing the timer-depth bookkeeping that used to
+be copy-pasted ``_enter_timed``/``_exit_timed`` pairs.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class _TimedSection:
+    """Context manager entering/leaving an account's timed section."""
+
+    __slots__ = ("account",)
+
+    def __init__(self, account: "LoadAccount") -> None:
+        self.account = account
+
+    def __enter__(self) -> "LoadAccount":
+        self.account.enter()
+        return self.account
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.account.exit()
+
+
+class _PausedSection:
+    """Context manager suspending an account's running timed section."""
+
+    __slots__ = ("account",)
+
+    def __init__(self, account: "LoadAccount") -> None:
+        self.account = account
+
+    def __enter__(self) -> "LoadAccount":
+        self.account.exit()
+        return self.account
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.account.enter()
+
+
+class LoadAccount:
+    """Re-entrant wall-clock + operation-count accounting for one server.
+
+    ``seconds``/``ops`` accumulate since the last :meth:`reset` (one
+    measurement step); ``total_seconds``/``total_ops`` accumulate over the
+    account's lifetime and survive resets -- the per-shard load-balance
+    report is built from the lifetime totals.
+    """
+
+    __slots__ = ("seconds", "ops", "total_seconds", "total_ops", "_depth", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.ops = 0
+        self.total_seconds = 0.0
+        self.total_ops = 0
+        self._depth = 0
+        self._start = 0.0
+
+    def enter(self) -> None:
+        """Enter a timed section (re-entrant)."""
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
+
+    def exit(self) -> None:
+        """Leave a timed section; the outermost exit accumulates."""
+        self._depth -= 1
+        if self._depth == 0:
+            self.seconds += time.perf_counter() - self._start
+
+    def timed(self) -> _TimedSection:
+        """``with account.timed(): ...`` -- a timed section."""
+        return _TimedSection(self)
+
+    def paused(self) -> _PausedSection:
+        """``with account.paused(): ...`` inside a timed section -- a span
+        that is *not* server work (e.g. a synchronous client round trip)."""
+        return _PausedSection(self)
+
+    def reset(self) -> tuple[float, int]:
+        """Return and clear the per-step (seconds, ops) counters."""
+        out = (self.seconds, self.ops)
+        self.total_seconds += self.seconds
+        self.total_ops += self.ops
+        self.seconds = 0.0
+        self.ops = 0
+        return out

@@ -1,0 +1,76 @@
+"""Deterministic grid-cell partitioning for the sharded server.
+
+The coordinator splits the grid into ``num_shards`` contiguous column
+stripes; :meth:`GridPartitioner.shard_of_cell` is the deterministic
+"grid hash" mapping any cell index to the shard that owns it.  Contiguity
+matters: a monitoring region (always a rectangular :class:`CellRange`)
+intersects a contiguous span of shards, and each shard's portion of it is
+itself a rectangular range, so RQI registrations and broadcast splits stay
+range-shaped instead of exploding into per-cell sets.
+
+A requested shard count larger than the number of grid columns is clamped
+(an empty shard would never receive any routed traffic); the effective
+count is what :attr:`num_shards` reports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.grid import CellIndex, CellRange, Grid
+
+
+class GridPartitioner:
+    """Deterministic cell -> shard mapping over contiguous column stripes."""
+
+    def __init__(self, grid: Grid, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be at least 1, got {num_shards}")
+        self.grid = grid
+        self.num_shards = min(num_shards, grid.n_cols)
+        # Stripe boundaries: shard s owns columns [bounds[s], bounds[s+1]).
+        self._bounds = [s * grid.n_cols // self.num_shards for s in range(self.num_shards)]
+        self._bounds.append(grid.n_cols)
+
+    def shard_of_cell(self, cell: CellIndex) -> int:
+        """The shard owning a grid cell (pure function of the column)."""
+        i = min(max(cell[0], 0), self.grid.n_cols - 1)
+        return bisect_right(self._bounds, i) - 1
+
+    def columns_of(self, shard: int) -> tuple[int, int]:
+        """The inclusive column span ``(lo, hi)`` owned by a shard."""
+        return (self._bounds[shard], self._bounds[shard + 1] - 1)
+
+    def cells_of(self, shard: int) -> CellRange:
+        """Every grid cell owned by a shard, as a rectangular range."""
+        lo, hi = self.columns_of(shard)
+        return CellRange(lo, hi, 0, self.grid.n_rows - 1)
+
+    def owns(self, shard: int, cell: CellIndex) -> bool:
+        """Whether ``shard`` owns ``cell``."""
+        lo, hi = self.columns_of(shard)
+        return lo <= cell[0] <= hi and 0 <= cell[1] <= self.grid.n_rows - 1
+
+    def shards_of_region(self, region: CellRange) -> range:
+        """The contiguous span of shard ids a cell range intersects."""
+        first = self.shard_of_cell((region.lo_i, region.lo_j))
+        last = self.shard_of_cell((region.hi_i, region.lo_j))
+        return range(first, last + 1)
+
+    def clip(self, region: CellRange, shard: int) -> CellRange | None:
+        """A shard's rectangular portion of a cell range (None if disjoint)."""
+        lo, hi = self.columns_of(shard)
+        lo_i = max(region.lo_i, lo)
+        hi_i = min(region.hi_i, hi)
+        if lo_i > hi_i:
+            return None
+        return CellRange(lo_i, hi_i, region.lo_j, region.hi_j)
+
+    def split(self, region: CellRange) -> list[tuple[int, CellRange]]:
+        """``(shard, portion)`` pairs covering a range, in shard order."""
+        out: list[tuple[int, CellRange]] = []
+        for shard in self.shards_of_region(region):
+            portion = self.clip(region, shard)
+            if portion is not None:
+                out.append((shard, portion))
+        return out

@@ -1,0 +1,149 @@
+"""Query registry: SQT/RQI ownership and result-change subscriptions.
+
+One of the three layered server components (registry / focal tracker /
+broadcast planner).  The registry owns the server query table and the
+reverse query index of one server (the monolithic server, or one shard
+behind the coordinator) and is the single place queries are added to and
+removed from, so the two tables can never drift apart.
+
+Optional ``on_added`` / ``on_removed`` callbacks let a coordinator keep
+its global query-ownership directory in sync with per-shard registries;
+the monolithic server passes none.  The subscriber book may be shared
+between registries (the coordinator hands every shard the same dict) so
+result-change subscriptions survive cross-shard focal handoffs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.query import QueryId
+from repro.core.tables import ReverseQueryIndex, ServerQueryTable, SqtEntry
+from repro.grid import CellIndex, CellRange
+from repro.mobility.model import ObjectId
+
+# callback(qid, oid, entered): a differential result change of query qid.
+ResultCallback = Callable[[QueryId, ObjectId, bool], None]
+
+
+class QueryRegistry:
+    """SQT + RQI ownership plus the result-change subscriber book."""
+
+    def __init__(
+        self,
+        on_added: Callable[[SqtEntry], None] | None = None,
+        on_removed: Callable[[SqtEntry, bool], None] | None = None,
+        subscribers: dict[QueryId, list[ResultCallback]] | None = None,
+    ) -> None:
+        self.sqt = ServerQueryTable()
+        self.rqi = ReverseQueryIndex()
+        self.subscribers: dict[QueryId, list[ResultCallback]] = (
+            subscribers if subscribers is not None else {}
+        )
+        self._on_added = on_added
+        self._on_removed = on_removed
+
+    # --------------------------------------------------------------- SQT
+
+    def __contains__(self, qid: QueryId) -> bool:
+        return qid in self.sqt
+
+    def __len__(self) -> int:
+        return len(self.sqt)
+
+    def get(self, qid: QueryId) -> SqtEntry:
+        """Look up an owned query entry."""
+        return self.sqt.get(qid)
+
+    def add(self, entry: SqtEntry) -> None:
+        """Take ownership of a query entry (SQT only; the caller registers
+        the monitoring region separately, possibly across shards)."""
+        self.sqt.add(entry)
+        if self._on_added is not None:
+            self._on_added(entry)
+
+    def remove(self, qid: QueryId) -> tuple[SqtEntry, bool]:
+        """Drop ownership of a query; returns ``(entry, focal_left)`` where
+        ``focal_left`` is True while the entry's focal object still anchors
+        other queries in this registry."""
+        entry = self.sqt.remove(qid)
+        self.subscribers.pop(qid, None)
+        focal_left = entry.is_static or self.sqt.is_focal(entry.oid)
+        if self._on_removed is not None:
+            self._on_removed(entry, focal_left)
+        return entry, focal_left
+
+    def adopt(self, entry: SqtEntry) -> None:
+        """Take ownership of an entry migrating in from another registry
+        (cross-shard focal handoff); RQI registrations are cell-owned and
+        do not move with the entry."""
+        self.sqt.add(entry)
+        if self._on_added is not None:
+            self._on_added(entry)
+
+    def release(self, qid: QueryId) -> SqtEntry:
+        """Give up ownership of an entry migrating to another registry,
+        keeping its subscriptions (the book is shared) and its RQI cells."""
+        entry = self.sqt.remove(qid)
+        if self._on_removed is not None:
+            self._on_removed(entry, entry.is_static or self.sqt.is_focal(entry.oid))
+        return entry
+
+    def queries_of_focal(self, oid: ObjectId) -> list[SqtEntry]:
+        """Owned queries bound to focal object ``oid``, qid-ascending."""
+        return self.sqt.queries_of_focal(oid)
+
+    def is_focal(self, oid: ObjectId) -> bool:
+        """Whether ``oid`` anchors at least one owned query."""
+        return self.sqt.is_focal(oid)
+
+    def entries(self) -> Iterator[SqtEntry]:
+        """Owned entries in qid-ascending order."""
+        return self.sqt.entries()
+
+    def ids(self) -> Iterator[QueryId]:
+        """Owned query ids in ascending order."""
+        return self.sqt.ids()
+
+    # --------------------------------------------------------------- RQI
+
+    def queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
+        """Query ids registered at a grid cell (owned or replicated)."""
+        return self.rqi.queries_at(cell)
+
+    def register_cells(self, qid: QueryId, cells: CellRange) -> None:
+        """Register a query id at this registry's portion of a region."""
+        self.rqi.add(qid, cells)
+
+    def unregister_cells(self, qid: QueryId, cells: CellRange) -> None:
+        """Remove a query id from this registry's portion of a region."""
+        self.rqi.remove(qid, cells)
+
+    # -------------------------------------------------------- subscribers
+
+    def subscribe(self, qid: QueryId, callback: ResultCallback) -> None:
+        """Register a result-change callback for an owned query."""
+        if qid not in self.sqt:
+            raise KeyError(f"unknown query {qid}")
+        self.subscribers.setdefault(qid, []).append(callback)
+
+    def unsubscribe(self, qid: QueryId, callback: ResultCallback) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self.subscribers.get(qid)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def notify(self, qid: QueryId, oid: ObjectId, entered: bool) -> None:
+        """Fire every subscriber of ``qid`` with one differential change."""
+        for callback in self.subscribers.get(qid, ()):
+            callback(qid, oid, entered)
+
+    def purge_object(self, oid: ObjectId) -> list[QueryId]:
+        """Drop ``oid`` from every owned result set; returns the affected
+        query ids in qid-ascending order (callbacks are the caller's job)."""
+        purged: list[QueryId] = []
+        for entry in self.sqt.entries():
+            if oid in entry.result:
+                entry.result.discard(oid)
+                purged.append(entry.qid)
+        return purged

@@ -1,33 +1,47 @@
 """The MobiEyes server: a mediator between moving objects (paper Section 3).
 
-The server never evaluates queries itself.  It maintains the focal object
-table (FOT), the server query table (SQT), and the reverse query index
-(RQI); installs queries; and relays significant focal-object changes
-(velocity-vector changes and grid-cell crossings) to the objects inside the
-affected monitoring regions using the minimal number of base-station
+The server never evaluates queries itself.  It composes three layered
+components -- a :class:`~repro.core.registry.QueryRegistry` (SQT/RQI
+ownership and result subscriptions), a
+:class:`~repro.core.focal.FocalTracker` (FOT and soft-state leases), and a
+:class:`~repro.core.broadcast.BroadcastPlanner` (query grouping and
+monitoring-region broadcasts) -- and orchestrates the protocol across
+them: installing queries and relaying significant focal-object changes
+(velocity-vector changes and grid-cell crossings) to the objects inside
+the affected monitoring regions using the minimal number of base-station
 broadcasts.
 
-Server load is measured as the wall-clock time spent inside the server's
-handlers (the same "time spent executing the server side logic per time
-step" measure the paper uses), plus a deterministic operation counter for
-hardware-independent comparisons.
+Server load is measured by a :class:`~repro.core.load.LoadAccount`: the
+wall-clock time spent inside the server's handlers (the same "time spent
+executing the server side logic per time step" measure the paper uses),
+plus a deterministic operation counter for hardware-independent
+comparisons.
+
+Every cross-table access that a grid-partitioned shard would need to
+resolve through its coordinator goes through a ``_``-prefixed hook
+(``_queries_at``, ``_entry_of``, ``_focal_entry``, ``_rqi_add`` /
+``_rqi_remove`` / ``_rqi_move``, ``_purge_object``, ``_result_entry``,
+``_acquire_focal``, ``_allocate_qid``).  Here every hook resolves against
+the server's own tables; :class:`~repro.core.shard.ServerShard` overrides
+them to reach across the partition.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 ResultCallback = Callable[["QueryId", "ObjectId", bool], None]
 
+from repro.core.broadcast import BroadcastPlanner
 from repro.core.config import MobiEyesConfig
+from repro.core.focal import FocalTracker
+from repro.core.load import LoadAccount
 from repro.core.messages import (
     CellChangeReport,
     FocalRoleNotification,
     Heartbeat,
     MotionStateRequest,
     MotionStateResponse,
-    QueryDescriptor,
     QueryInstallBroadcast,
     QueryInstallList,
     QueryRemoveBroadcast,
@@ -39,55 +53,117 @@ from repro.core.messages import (
     VelocityChangeReport,
 )
 from repro.core.query import MovingQuery, QueryId, QuerySpec
-from repro.core.tables import FocalObjectTable, ReverseQueryIndex, ServerQueryTable, SqtEntry
+from repro.core.registry import QueryRegistry
+from repro.core.tables import FotEntry, SqtEntry
 from repro.core.transport import SimulatedTransport
-from repro.grid import CellIndex, Grid, monitoring_region
+from repro.grid import CellIndex, CellRange, Grid, monitoring_region
 from repro.mobility.model import MotionState, ObjectId
 
 
 class MobiEyesServer:
     """Server-side half of the MobiEyes protocol."""
 
-    def __init__(self, grid: Grid, transport: SimulatedTransport, config: MobiEyesConfig) -> None:
+    def __init__(
+        self,
+        grid: Grid,
+        transport: SimulatedTransport,
+        config: MobiEyesConfig,
+        *,
+        registry: QueryRegistry | None = None,
+        tracker: FocalTracker | None = None,
+        attach: bool = True,
+    ) -> None:
         self.grid = grid
         self.transport = transport
         self.config = config
-        self.fot = FocalObjectTable()
-        self.sqt = ServerQueryTable()
-        self.rqi = ReverseQueryIndex()
+        self.registry = registry if registry is not None else QueryRegistry()
+        self.tracker = tracker if tracker is not None else FocalTracker()
+        self.planner = BroadcastPlanner(transport, config.grouping)
+        self.load = LoadAccount()
         self._next_qid: QueryId = 1
-        self._subscribers: dict[QueryId, list[ResultCallback]] = {}
-        # Soft-state leases (enabled under fault injection): last step each
-        # object was heard from, and the max-speed bound of focal objects
-        # whose queries are currently suspended.
-        self._lease_steps: int | None = None
-        self._last_heard: dict[ObjectId, int] = {}
-        self._suspended: dict[ObjectId, float] = {}
-        # Load accounting: wall seconds and abstract operations this step.
-        self.load_seconds = 0.0
-        self.op_count = 0
-        self._timer_depth = 0
-        self._timer_start = 0.0
-        transport.attach_server(self)
+        if attach:
+            transport.attach_server(self)
+
+    # ------------------------------------------------------- table aliases
+
+    @property
+    def fot(self):
+        """The focal object table (owned by the focal tracker)."""
+        return self.tracker.fot
+
+    @property
+    def sqt(self):
+        """The server query table (owned by the query registry)."""
+        return self.registry.sqt
+
+    @property
+    def rqi(self):
+        """The reverse query index (owned by the query registry)."""
+        return self.registry.rqi
 
     # ------------------------------------------------------------- timing
 
-    def _enter_timed(self) -> None:
-        if self._timer_depth == 0:
-            self._timer_start = time.perf_counter()
-        self._timer_depth += 1
+    @property
+    def load_seconds(self) -> float:
+        """Wall seconds spent in server handlers since the last reset."""
+        return self.load.seconds
 
-    def _exit_timed(self) -> None:
-        self._timer_depth -= 1
-        if self._timer_depth == 0:
-            self.load_seconds += time.perf_counter() - self._timer_start
+    @property
+    def op_count(self) -> int:
+        """Abstract operations performed since the last reset."""
+        return self.load.ops
 
     def reset_load(self) -> tuple[float, int]:
         """Return and clear the accumulated (seconds, ops) load counters."""
-        out = (self.load_seconds, self.op_count)
-        self.load_seconds = 0.0
-        self.op_count = 0
-        return out
+        return self.load.reset()
+
+    # -------------------------------------------------- cross-shard hooks
+    #
+    # Every access that may leave a shard's own partition funnels through
+    # these; the monolithic server resolves them locally.
+
+    def _allocate_qid(self) -> QueryId:
+        """Claim the next globally unique query id."""
+        qid = self._next_qid
+        self._next_qid += 1
+        return qid
+
+    def _focal_entry(self, oid: ObjectId) -> FotEntry:
+        """The FOT entry backing a query descriptor (may live elsewhere)."""
+        return self.tracker.get(oid)
+
+    def _queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
+        """Query ids registered at a grid cell (the cell owner's RQI)."""
+        return self.registry.queries_at(cell)
+
+    def _entry_of(self, qid: QueryId) -> SqtEntry:
+        """The SQT entry of a query id found in some RQI cell."""
+        return self.registry.get(qid)
+
+    def _result_entry(self, qid: QueryId) -> SqtEntry | None:
+        """The SQT entry a result-change report should apply to, or None
+        if the query no longer exists anywhere."""
+        return self.registry.get(qid) if qid in self.registry else None
+
+    def _rqi_add(self, qid: QueryId, region: CellRange) -> None:
+        """Register a monitoring region in the RQI of its cell owners."""
+        self.registry.rqi.add(qid, region)
+
+    def _rqi_remove(self, qid: QueryId, region: CellRange) -> None:
+        """Withdraw a monitoring region from the RQI of its cell owners."""
+        self.registry.rqi.remove(qid, region)
+
+    def _rqi_move(self, qid: QueryId, old: CellRange, new: CellRange) -> None:
+        """Move a query between monitoring regions across cell owners."""
+        self.registry.rqi.move(qid, old, new)
+
+    def _purge_object(self, oid: ObjectId) -> list[QueryId]:
+        """Drop ``oid`` from every query result anywhere; qid-ascending."""
+        return self.registry.purge_object(oid)
+
+    def _acquire_focal(self, oid: ObjectId) -> None:
+        """Take over responsibility for a focal object that crossed into
+        this server's territory (no-op without partitioning)."""
 
     # ------------------------------------------------------ query install
 
@@ -100,19 +176,16 @@ class MobiEyesServer:
         """
         if spec.is_static:
             return self._install_static(spec)
-        self._enter_timed()
-        try:
-            if spec.oid not in self.fot:
+        with self.load.timed():
+            if spec.oid not in self.tracker:
                 # Contact the focal object for its position and velocity;
                 # the response arrives synchronously through on_uplink.
-                self._exit_timed()  # the round trip is not server work
-                self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
-                self._enter_timed()
-                if spec.oid not in self.fot:
+                with self.load.paused():  # the round trip is not server work
+                    self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
+                if spec.oid not in self.tracker:
                     raise KeyError(f"focal object {spec.oid} did not answer the state request")
-            focal = self.fot.get(spec.oid)
-            qid = self._next_qid
-            self._next_qid += 1
+            focal = self.tracker.get(spec.oid)
+            qid = self._allocate_qid()
             curr_cell = self.grid.cell_index(focal.state.pos)
             mon_region = monitoring_region(self.grid, curr_cell, spec.region)
             entry = SqtEntry(
@@ -123,25 +196,21 @@ class MobiEyesServer:
                 curr_cell=curr_cell,
                 mon_region=mon_region,
             )
-            self.sqt.add(entry)
-            self.rqi.add(qid, mon_region)
-            self.op_count += mon_region.cell_count + 1
-        finally:
-            self._exit_timed()
+            self.registry.add(entry)
+            self._rqi_add(qid, mon_region)
+            self.load.ops += mon_region.cell_count + 1
 
         # Notify the focal object of its role, then install the query on
         # every object in the monitoring region through broadcasts.
         self.transport.send(spec.oid, FocalRoleNotification(oid=spec.oid, has_mq=True))
-        self.transport.broadcast(
+        self.planner.send(
             mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
         )
         return qid
 
     def _install_static(self, spec: QuerySpec) -> QueryId:
-        self._enter_timed()
-        try:
-            qid = self._next_qid
-            self._next_qid += 1
+        with self.load.timed():
+            qid = self._allocate_qid()
             mon_region = self.grid.cells_intersecting(spec.region.bounding_rect())
             entry = SqtEntry(
                 qid=qid,
@@ -151,32 +220,25 @@ class MobiEyesServer:
                 curr_cell=None,
                 mon_region=mon_region,
             )
-            self.sqt.add(entry)
-            self.rqi.add(qid, mon_region)
-            self.op_count += mon_region.cell_count + 1
-        finally:
-            self._exit_timed()
-        self.transport.broadcast(
+            self.registry.add(entry)
+            self._rqi_add(qid, mon_region)
+            self.load.ops += mon_region.cell_count + 1
+        self.planner.send(
             mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
         )
         return qid
 
     def remove_query(self, qid: QueryId) -> None:
         """Uninstall a query everywhere."""
-        self._enter_timed()
-        try:
-            entry = self.sqt.remove(qid)
-            self._subscribers.pop(qid, None)
-            self.rqi.remove(qid, entry.mon_region)
-            self.op_count += entry.mon_region.cell_count + 1
-            focal_left = entry.is_static or self.sqt.is_focal(entry.oid)
+        with self.load.timed():
+            entry, focal_left = self.registry.remove(qid)
+            self._rqi_remove(qid, entry.mon_region)
+            self.load.ops += entry.mon_region.cell_count + 1
             if not focal_left:
-                if entry.oid in self.fot:
-                    self.fot.remove(entry.oid)
-                self._suspended.pop(entry.oid, None)
-        finally:
-            self._exit_timed()
-        self.transport.broadcast(entry.mon_region, QueryRemoveBroadcast(qids=(qid,)))
+                if entry.oid in self.tracker:
+                    self.tracker.remove(entry.oid)
+                self.tracker.pop_suspended(entry.oid)
+        self.planner.send(entry.mon_region, QueryRemoveBroadcast(qids=(qid,)))
         if not focal_left:
             self.transport.send(entry.oid, FocalRoleNotification(oid=entry.oid, has_mq=False))
 
@@ -184,7 +246,7 @@ class MobiEyesServer:
 
     def on_uplink(self, message: object) -> None:
         """Dispatch an object -> server message."""
-        if self._lease_steps is not None:
+        if self.tracker.leases_enabled:
             self._touch_lease(message)
         if isinstance(message, VelocityChangeReport):
             self._on_velocity_change(message)
@@ -207,15 +269,15 @@ class MobiEyesServer:
         """Turn on soft-state leases: a focal object silent for more than
         ``lease_steps`` steps has its queries suspended until it is heard
         from again (wired up only under fault injection)."""
-        self._lease_steps = lease_steps
+        self.tracker.enable_leases(lease_steps)
 
     def _touch_lease(self, message: object) -> None:
         """Record a sign of life and reinstate a suspended focal object."""
         oid = getattr(message, "oid", None)
         if oid is None:
             return
-        self._last_heard[oid] = self.transport.step
-        if oid not in self._suspended:
+        self.tracker.touch(oid, self.transport.step)
+        if not self.tracker.is_suspended(oid):
             return
         state = getattr(message, "state", None)
         if state is not None:
@@ -228,11 +290,8 @@ class MobiEyesServer:
 
     def expire_leases(self, step: int) -> None:
         """Suspend the queries of focal objects whose lease ran out."""
-        if self._lease_steps is None:
-            return
-        for oid in sorted(self.fot.ids()):
-            if step - self._last_heard.get(oid, 0) > self._lease_steps:
-                self._suspend(oid)
+        for oid in self.tracker.expired(step):
+            self._suspend(oid)
 
     def _suspend(self, oid: ObjectId) -> None:
         """Withdraw a silent focal object's queries from active service.
@@ -243,52 +302,45 @@ class MobiEyesServer:
         is undone by :meth:`_reinstate` when the object resurfaces.
         """
         left: list[tuple[QueryId, ObjectId]] = []
-        self._enter_timed()
-        try:
-            entries = self.sqt.queries_of_focal(oid)
+        with self.load.timed():
+            entries = self.registry.queries_of_focal(oid)
             for entry in entries:
-                self.rqi.remove(entry.qid, entry.mon_region)
+                self._rqi_remove(entry.qid, entry.mon_region)
                 entry.suspended = True
                 for member in sorted(entry.result):
                     left.append((entry.qid, member))
                 entry.result.clear()
-                self.op_count += entry.mon_region.cell_count + 1
-            groups = self._broadcast_groups(entries)
-            self._suspended[oid] = self.fot.get(oid).max_speed
-            self.fot.remove(oid)
-        finally:
-            self._exit_timed()
+                self.load.ops += entry.mon_region.cell_count + 1
+            groups = self.planner.groups(entries)
+            self.tracker.mark_suspended(oid, self.tracker.get(oid).max_speed)
+            self.tracker.remove(oid)
         for qid, member in left:
-            for callback in self._subscribers.get(qid, ()):
-                callback(qid, member, False)
+            self.registry.notify(qid, member, False)
         for mon_region, group in groups:
-            self.transport.broadcast(
+            self.planner.send(
                 mon_region, QueryRemoveBroadcast(qids=tuple(e.qid for e in group))
             )
 
     def _reinstate(self, oid: ObjectId, state: MotionState, max_speed: float | None = None) -> None:
         """Bring a suspended focal object's queries back into service."""
-        stored = self._suspended.pop(oid, None)
+        stored = self.tracker.pop_suspended(oid)
         if stored is None:
             return
         if max_speed is None:
             max_speed = stored
-        self._enter_timed()
-        try:
-            self.fot.upsert(oid, state, max_speed)
+        with self.load.timed():
+            self.tracker.upsert(oid, state, max_speed)
             curr_cell = self.grid.cell_index(state.pos)
-            entries = self.sqt.queries_of_focal(oid)
+            entries = self.registry.queries_of_focal(oid)
             for entry in entries:
                 entry.curr_cell = curr_cell
                 entry.mon_region = monitoring_region(self.grid, curr_cell, entry.region)
-                self.rqi.add(entry.qid, entry.mon_region)
+                self._rqi_add(entry.qid, entry.mon_region)
                 entry.suspended = False
-                self.op_count += entry.mon_region.cell_count + 1
-            groups = self._broadcast_groups(entries)
-        finally:
-            self._exit_timed()
+                self.load.ops += entry.mon_region.cell_count + 1
+            groups = self.planner.groups(entries)
         for mon_region, group in groups:
-            self.transport.broadcast(
+            self.planner.send(
                 mon_region,
                 QueryInstallBroadcast(queries=tuple(self._descriptor(e) for e in group)),
             )
@@ -303,71 +355,57 @@ class MobiEyesServer:
         the descriptors of every query alive at the object's cell.
         """
         oid = message.oid
-        focal_updates: list[tuple[set[CellIndex], list[SqtEntry]]] = []
-        purged: list[QueryId] = []
-        self._enter_timed()
-        try:
-            if oid in self.fot:
-                self.fot.upsert(oid, message.state, message.max_speed)
-            if self.sqt.is_focal(oid) and oid not in self._suspended:
+        focal_updates: list[tuple[object, list[SqtEntry]]] = []
+        with self.load.timed():
+            if oid in self.tracker:
+                self.tracker.upsert(oid, message.state, message.max_speed)
+            if self.registry.is_focal(oid) and not self.tracker.is_suspended(oid):
                 # Always push fresh descriptors to the monitoring regions:
                 # the focal's relays during its blackout are gone, and the
                 # watchers cannot detect that staleness on their own.
-                entries = self.sqt.queries_of_focal(oid)
+                entries = self.registry.queries_of_focal(oid)
                 if any(e.curr_cell != message.cell for e in entries):
                     focal_updates = self._refresh_focal_regions(oid, message.cell)
                 else:
                     focal_updates = [
                         (group[0].mon_region, group)
-                        for _region, group in self._broadcast_groups(entries)
+                        for _region, group in self.planner.groups(entries)
                     ]
-            for entry in self.sqt.entries():
-                if oid in entry.result:
-                    entry.result.discard(oid)
-                    purged.append(entry.qid)
-                    self.op_count += 1
+            purged = self._purge_object(oid)
+            self.load.ops += len(purged)
             queries = tuple(
-                self._descriptor(self.sqt.get(qid))
-                for qid in sorted(self.rqi.queries_at(message.cell))
-                if self.sqt.get(qid).oid != oid
+                self._descriptor(self._entry_of(qid))
+                for qid in sorted(self._queries_at(message.cell))
+                if self._entry_of(qid).oid != oid
             )
-            has_mq = self.sqt.is_focal(oid) and oid not in self._suspended
-        finally:
-            self._exit_timed()
+            has_mq = self.registry.is_focal(oid) and not self.tracker.is_suspended(oid)
         for qid in purged:
-            for callback in self._subscribers.get(qid, ()):
-                callback(qid, oid, False)
+            self.registry.notify(qid, oid, False)
         for combined_region, group in focal_updates:
-            self.transport.broadcast(
+            self.planner.send(
                 combined_region,
                 QueryUpdateBroadcast(queries=tuple(self._descriptor(e) for e in group)),
             )
         self.transport.send(oid, ResyncResponse(oid=oid, queries=queries, has_mq=has_mq))
 
     def _on_motion_state(self, message: MotionStateResponse) -> None:
-        self._enter_timed()
-        try:
-            self.fot.upsert(message.oid, message.state, message.max_speed)
-            self.op_count += 1
-        finally:
-            self._exit_timed()
+        with self.load.timed():
+            self.tracker.upsert(message.oid, message.state, message.max_speed)
+            self.load.ops += 1
 
     def _on_velocity_change(self, message: VelocityChangeReport) -> None:
         """Relay a focal object's significant velocity change (Section 3.4)."""
-        self._enter_timed()
-        try:
-            if message.oid not in self.fot:
+        with self.load.timed():
+            if message.oid not in self.tracker:
                 return  # stale report from an object that lost its focal role
-            self.fot.update_state(message.oid, message.state)
-            queries = self.sqt.queries_of_focal(message.oid)
-            groups = self._broadcast_groups(queries)
-            self.op_count += 1 + len(queries)
-        finally:
-            self._exit_timed()
+            self.tracker.update_state(message.oid, message.state)
+            queries = self.registry.queries_of_focal(message.oid)
+            groups = self.planner.groups(queries)
+            self.load.ops += 1 + len(queries)
         lazy = self.config.propagation.is_lazy
         for mon_region, group in groups:
             descriptors = tuple(self._descriptor(e) for e in group) if lazy else ()
-            self.transport.broadcast(
+            self.planner.send(
                 mon_region,
                 VelocityChangeBroadcast(
                     oid=message.oid,
@@ -379,16 +417,14 @@ class MobiEyesServer:
 
     def _on_cell_change(self, message: CellChangeReport) -> None:
         """Handle an object that crossed into a new grid cell (Section 3.5)."""
-        self._enter_timed()
-        try:
-            if message.state is not None and message.oid in self.fot:
-                self.fot.update_state(message.oid, message.state)
+        self._acquire_focal(message.oid)
+        with self.load.timed():
+            if message.state is not None and message.oid in self.tracker:
+                self.tracker.update_state(message.oid, message.state)
             new_queries = self._new_queries_for(message.oid, message.prev_cell, message.new_cell)
-            focal_updates: list[tuple[set[CellIndex], list[SqtEntry]]] = []
-            if self.sqt.is_focal(message.oid):
+            focal_updates: list[tuple[object, list[SqtEntry]]] = []
+            if self.registry.is_focal(message.oid):
                 focal_updates = self._refresh_focal_regions(message.oid, message.new_cell)
-        finally:
-            self._exit_timed()
 
         if new_queries:
             self.transport.send(
@@ -399,7 +435,7 @@ class MobiEyesServer:
                 ),
             )
         for combined_region, group in focal_updates:
-            self.transport.broadcast(
+            self.planner.send(
                 combined_region,
                 QueryUpdateBroadcast(queries=tuple(self._descriptor(e) for e in group)),
             )
@@ -408,11 +444,11 @@ class MobiEyesServer:
         self, oid: ObjectId, prev_cell: CellIndex, new_cell: CellIndex
     ) -> list[SqtEntry]:
         """Queries newly covering the object's cell (RQI difference)."""
-        previous = self.rqi.queries_at(prev_cell)
-        fresh = self.rqi.queries_at(new_cell) - previous
-        self.op_count += 1
+        previous = self._queries_at(prev_cell)
+        fresh = self._queries_at(new_cell) - previous
+        self.load.ops += 1
         # The object never monitors its own queries (it is their focal).
-        return [self.sqt.get(qid) for qid in sorted(fresh) if self.sqt.get(qid).oid != oid]
+        return [self._entry_of(qid) for qid in sorted(fresh) if self._entry_of(qid).oid != oid]
 
     def _refresh_focal_regions(
         self, oid: ObjectId, new_cell: CellIndex
@@ -423,17 +459,17 @@ class MobiEyesServer:
         regions (the paper broadcasts the query's new state to objects in
         the combined area) and the group's queries.
         """
-        queries = self.sqt.queries_of_focal(oid)
+        queries = self.registry.queries_of_focal(oid)
         combined_by_group: dict[int, set[CellIndex]] = {}
         for entry in queries:
             old_region = entry.mon_region
             new_region = monitoring_region(self.grid, new_cell, entry.region)
             entry.curr_cell = new_cell
             entry.mon_region = new_region
-            self.rqi.move(entry.qid, old_region, new_region)
-            self.op_count += old_region.cell_count + new_region.cell_count
+            self._rqi_move(entry.qid, old_region, new_region)
+            self.load.ops += old_region.cell_count + new_region.cell_count
             combined_by_group[entry.qid] = set(old_region) | set(new_region)
-        groups = self._broadcast_groups(queries)
+        groups = self.planner.groups(queries)
         out: list[tuple[set[CellIndex], list[SqtEntry]]] = []
         for _mon_region, group in groups:
             combined: set[CellIndex] = set()
@@ -445,12 +481,11 @@ class MobiEyesServer:
     def _on_result_change(self, message: ResultChangeReport) -> None:
         """Differentially update query results (Section 3.6)."""
         applied: list[tuple[QueryId, bool]] = []
-        self._enter_timed()
-        try:
+        with self.load.timed():
             for qid, is_target in message.changes.items():
-                if qid not in self.sqt:
+                entry = self._result_entry(qid)
+                if entry is None:
                     continue  # query was removed while the report was in flight
-                entry = self.sqt.get(qid)
                 if entry.suspended:
                     continue  # lease-suspended: the report is stale by definition
                 result = entry.result
@@ -462,81 +497,38 @@ class MobiEyesServer:
                     if message.oid in result:
                         result.discard(message.oid)
                         applied.append((qid, False))
-                self.op_count += 1
-        finally:
-            self._exit_timed()
+                self.load.ops += 1
         # Notify subscribers outside the timed section: the callbacks are
         # application code, not server protocol work.
         for qid, entered in applied:
-            for callback in self._subscribers.get(qid, ()):
-                callback(qid, message.oid, entered)
+            self.registry.notify(qid, message.oid, entered)
 
     def subscribe(self, qid: QueryId, callback: "ResultCallback") -> None:
         """Register a callback fired on every differential result change of
         query ``qid``: ``callback(qid, oid, entered)`` with ``entered`` True
         when the object joined the result and False when it left."""
-        if qid not in self.sqt:
-            raise KeyError(f"unknown query {qid}")
-        self._subscribers.setdefault(qid, []).append(callback)
+        self.registry.subscribe(qid, callback)
 
     def unsubscribe(self, qid: QueryId, callback: "ResultCallback") -> None:
         """Remove a previously registered callback (no-op if absent)."""
-        callbacks = self._subscribers.get(qid)
-        if callbacks and callback in callbacks:
-            callbacks.remove(callback)
+        self.registry.unsubscribe(qid, callback)
 
     # ------------------------------------------------------------ helpers
 
-    def _broadcast_groups(self, queries: list[SqtEntry]) -> list[tuple[object, list[SqtEntry]]]:
-        """Group queries for broadcasting.
-
-        With grouping enabled (Section 4.1), queries sharing the focal
-        object *and* the monitoring region ride in one broadcast; groups are
-        keyed by monitoring region.  With grouping disabled every query is
-        broadcast separately.
-        """
-        if not self.config.grouping:
-            return [(e.mon_region, [e]) for e in queries]
-        grouped: dict[object, list[SqtEntry]] = {}
-        for entry in queries:
-            grouped.setdefault(entry.mon_region, []).append(entry)
-        return list(grouped.items())
-
-    def _descriptor(self, entry: SqtEntry) -> QueryDescriptor:
-        if entry.is_static:
-            return QueryDescriptor(
-                qid=entry.qid,
-                oid=None,
-                region=entry.region,
-                filter=entry.filter,
-                focal_state=None,
-                focal_max_speed=0.0,
-                mon_region=entry.mon_region,
-            )
-        focal = self.fot.get(entry.oid)
-        return QueryDescriptor(
-            qid=entry.qid,
-            oid=entry.oid,
-            region=entry.region,
-            filter=entry.filter,
-            focal_state=focal.state,
-            focal_max_speed=focal.max_speed,
-            mon_region=entry.mon_region,
-        )
+    def _descriptor(self, entry: SqtEntry) -> "QueryDescriptor":
+        focal = None if entry.is_static else self._focal_entry(entry.oid)
+        return self.planner.descriptor(entry, focal)
 
     def beacon_static_queries(self) -> int:
         """Re-broadcast every static query's descriptor to its monitoring
         region (lazy-propagation healing; see ``static_beacon_steps``).
         Returns the number of broadcasts sent."""
-        self._enter_timed()
-        try:
-            static_entries = [e for e in self.sqt.entries() if e.is_static]
-            self.op_count += len(static_entries)
-        finally:
-            self._exit_timed()
+        with self.load.timed():
+            static_entries = [e for e in self.registry.entries() if e.is_static]
+            self.load.ops += len(static_entries)
         broadcasts = 0
         for entry in static_entries:
-            broadcasts += self.transport.broadcast(
+            broadcasts += self.planner.send(
                 entry.mon_region, QueryInstallBroadcast(queries=(self._descriptor(entry),))
             )
         return broadcasts
@@ -545,40 +537,43 @@ class MobiEyesServer:
 
     def query_result(self, qid: QueryId) -> frozenset[ObjectId]:
         """The current (differentially maintained) result of a query."""
-        return frozenset(self.sqt.get(qid).result)
+        return frozenset(self.registry.get(qid).result)
 
     def installed_queries(self) -> list[MovingQuery]:
         """All installed queries as MovingQuery values."""
         return [
             MovingQuery(qid=e.qid, oid=e.oid, region=e.region, filter=e.filter)
-            for e in self.sqt.entries()
+            for e in self.registry.entries()
         ]
 
     def nearby_queries(self, cell: CellIndex) -> frozenset[QueryId]:
         """Query ids whose monitoring region covers the cell."""
-        return self.rqi.queries_at(cell)
+        return self.registry.queries_at(cell)
 
     def check_invariants(self) -> None:
         """Structural consistency between FOT, SQT, and RQI (used by tests)."""
-        for oid in list(self.fot.ids()):
-            assert self.sqt.is_focal(oid), f"FOT holds non-focal object {oid}"
-        for entry in self.sqt.entries():
+        for oid in list(self.tracker.ids()):
+            assert self.registry.is_focal(oid), f"FOT holds non-focal object {oid}"
+        for entry in self.registry.entries():
             if entry.suspended:
                 # Lease-suspended queries are deliberately out of the FOT
                 # and RQI until their focal object resurfaces.
                 assert not entry.result, f"suspended query {entry.qid} kept a result"
                 continue
             if not entry.is_static:
-                assert entry.oid in self.fot, (
+                assert entry.oid in self.tracker, (
                     f"query {entry.qid}'s focal object {entry.oid} missing from FOT"
                 )
             for cell in entry.mon_region:
-                assert entry.qid in self.rqi.queries_at(cell), (
+                assert entry.qid in self._queries_at(cell), (
                     f"query {entry.qid} missing from RQI cell {cell}"
                 )
         for cell in list(self.rqi.nonempty_cells()):
             for qid in self.rqi.queries_at(cell):
-                assert qid in self.sqt, f"RQI holds removed query {qid}"
-                assert self.sqt.get(qid).mon_region.contains(cell), (
+                try:
+                    entry = self._entry_of(qid)
+                except KeyError:
+                    raise AssertionError(f"RQI holds removed query {qid}") from None
+                assert entry.mon_region.contains(cell), (
                     f"RQI cell {cell} outside query {qid}'s monitoring region"
                 )

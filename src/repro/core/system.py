@@ -69,7 +69,12 @@ class MobiEyesSystem:
         self.transport = SimulatedTransport(
             self.layout, self.grid, self.ledger, trace=trace, loss=loss
         )
-        self.server = MobiEyesServer(self.grid, self.transport, config)
+        if config.shards > 1:
+            from repro.core.coordinator import Coordinator
+
+            self.server = Coordinator(self.grid, self.transport, config)
+        else:
+            self.server = MobiEyesServer(self.grid, self.transport, config)
         # A custom mobility model (e.g. random waypoint) may be supplied;
         # it must manage the same object population.
         if motion is not None:

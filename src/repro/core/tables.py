@@ -76,8 +76,10 @@ class FocalObjectTable:
         del self._entries[oid]
 
     def ids(self) -> Iterator[ObjectId]:
-        """Iterate over the stored identifiers."""
-        return iter(self._entries)
+        """Iterate over the stored identifiers in ascending order.  The
+        explicit sort keeps lease expiry and invariant checks deterministic
+        even when entries migrated between shards out of insertion order."""
+        return iter(sorted(self._entries))
 
 
 @dataclass(slots=True)
@@ -150,12 +152,19 @@ class ServerQueryTable:
         return oid in self._by_focal
 
     def entries(self) -> Iterator[SqtEntry]:
-        """Iterate over the stored entries."""
-        return iter(self._entries.values())
+        """Iterate over the stored entries in ascending qid order.
+
+        Query ids are allocated monotonically, so for a monolithic server
+        the sort matches plain insertion order; behind the coordinator a
+        shard's insertion order depends on handoff history, and the
+        explicit sort is what keeps resync purges, static beacons, and
+        result snapshots deterministic across shard counts.
+        """
+        return iter([self._entries[qid] for qid in sorted(self._entries)])
 
     def ids(self) -> Iterator[QueryId]:
-        """Iterate over the stored identifiers."""
-        return iter(self._entries)
+        """Iterate over the stored identifiers in ascending order."""
+        return iter(sorted(self._entries))
 
 
 class ReverseQueryIndex:

@@ -60,6 +60,12 @@ class CoverageIndex:
         self.grid = grid
         self._tile_buckets: dict[tuple[int, int], list[tuple[ObjectId, Point]]] = {}
         self._cell_buckets: dict[CellIndex, list[ObjectId]] = {}
+        # Per-object cell lookup, maintained only when a sharded server
+        # needs to route uplinks by sender cell (off by default: the
+        # monolithic server never asks, and the extra dict write per
+        # object would sit on the hot path for nothing).
+        self.track_cells = False
+        self._cell_of: dict[ObjectId, CellIndex] = {}
 
     def rebuild(self, positions: Iterable[tuple[ObjectId, Point]]) -> None:
         """Re-bucket the object positions for the new step."""
@@ -67,9 +73,22 @@ class CoverageIndex:
         self._cell_buckets.clear()
         tile_of = self.layout.tile_of_point
         cell_of = self.grid.cell_index
+        if self.track_cells:
+            self._cell_of.clear()
+            for oid, pos in positions:
+                cell = cell_of(pos)
+                self._tile_buckets.setdefault(tile_of(pos), []).append((oid, pos))
+                self._cell_buckets.setdefault(cell, []).append(oid)
+                self._cell_of[oid] = cell
+            return
         for oid, pos in positions:
             self._tile_buckets.setdefault(tile_of(pos), []).append((oid, pos))
             self._cell_buckets.setdefault(cell_of(pos), []).append(oid)
+
+    def cell_of(self, oid: ObjectId) -> CellIndex:
+        """The grid cell an object was in at the last rebuild (requires
+        ``track_cells``)."""
+        return self._cell_of[oid]
 
     def covered_by_stations(self, station_ids: Iterable[BaseStationId]) -> set[ObjectId]:
         """Objects inside any of the stations' coverage circles."""
@@ -132,6 +151,9 @@ class SimulatedTransport:
         self._server: UplinkReceiver | None = None
         self._step = 0
         self._downlink_seq: dict[ObjectId, int] = {}
+        # Sharded-server support: when on, the coverage index keeps a
+        # per-object cell lookup so uplinks can be routed by sender cell.
+        self._route_cells = False
 
     # ------------------------------------------------------------- wiring
 
@@ -152,11 +174,34 @@ class SimulatedTransport:
         """Remove an object's radio."""
         self._clients.pop(oid, None)
 
+    def enable_cell_routing(self) -> None:
+        """Keep per-object cells in the coverage index (sharded server)."""
+        self._route_cells = True
+        self.coverage.track_cells = True
+
+    def sender_cell(self, oid: ObjectId) -> CellIndex:
+        """The grid cell of an uplink sender this step (requires
+        :meth:`enable_cell_routing`)."""
+        return self.coverage.cell_of(oid)
+
+    def uplink_endpoint(self, message: object) -> int:
+        """The server-side endpoint an uplink lands on: the shard id under
+        a sharded server, always ``0`` for the monolith.  The reliability
+        layer keys its per-sender sequence streams by endpoint so each
+        shard sees a gap-free stream."""
+        route = getattr(self._server, "shard_for_uplink", None)
+        if route is None:
+            return 0
+        return route(message)
+
     def begin_step(self, step: int, positions: Iterable[tuple[ObjectId, Point]]) -> None:
         """Refresh the coverage index for the new step's object positions."""
         self._step = step
         if self.loss is not None:
             self.loss.begin_step(step)
+        if self._route_cells:
+            # Survives the fastpath swapping in its own coverage index.
+            self.coverage.track_cells = True
         self.coverage.rebuild(positions)
 
     def next_downlink_seq(self, oid: ObjectId) -> int:

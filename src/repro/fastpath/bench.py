@@ -142,7 +142,7 @@ def result_hash(system: MobiEyesSystem) -> str:
     return hashlib.sha256(repr(payload).encode("ascii")).hexdigest()
 
 
-def run_engine(scenario: BenchScenario, engine: str) -> dict:
+def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
     """Build, warm up, and time one engine on a scenario's workload."""
     params = scenario.params
     rng = SimulationRng(params.seed)
@@ -156,6 +156,7 @@ def run_engine(scenario: BenchScenario, engine: str) -> dict:
         grouping=scenario.grouping,
         safe_period=scenario.safe_period,
         engine=engine,
+        shards=shards,
     )
     built = time.perf_counter()
     system = MobiEyesSystem(
@@ -180,7 +181,7 @@ def run_engine(scenario: BenchScenario, engine: str) -> dict:
     system.run(scenario.steps)
     wall_seconds = time.perf_counter() - started
 
-    return {
+    report = {
         "engine": engine,
         "build_seconds": round(build_seconds, 4),
         "warmup_seconds": round(warmup_seconds, 4),
@@ -192,9 +193,33 @@ def run_engine(scenario: BenchScenario, engine: str) -> dict:
         "uplink_messages": system.ledger.uplink_count,
         "downlink_messages": system.ledger.downlink_count,
     }
+    shard_loads = getattr(system.server, "shard_loads", None)
+    if shard_loads is not None:
+        report["shard_loads"] = [
+            {**row, "seconds": round(row["seconds"], 4)} for row in shard_loads()
+        ]
+        report["load_balance"] = load_balance(report["shard_loads"])
+    return report
 
 
-def run_scenario(scenario: BenchScenario, log=print) -> dict:
+def load_balance(shard_loads: list[dict]) -> dict:
+    """Balance summary over the per-shard lifetime ``ops`` counters.
+
+    ``imbalance`` is max/mean: 1.0 is a perfect split, ``num_shards`` is
+    the degenerate case of all load on one shard.
+    """
+    ops = [row["ops"] for row in shard_loads]
+    mean_ops = sum(ops) / max(1, len(ops))
+    return {
+        "num_shards": len(shard_loads),
+        "min_ops": min(ops),
+        "max_ops": max(ops),
+        "mean_ops": round(mean_ops, 1),
+        "imbalance": round(max(ops) / mean_ops, 3) if mean_ops else 1.0,
+    }
+
+
+def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
     """Run one scenario through every available engine."""
     params = scenario.params
     row: dict = {
@@ -212,6 +237,7 @@ def run_scenario(scenario: BenchScenario, log=print) -> dict:
         "grouping": scenario.grouping,
         "safe_period": scenario.safe_period,
         "dead_reckoning_threshold": scenario.dead_reckoning_threshold,
+        "shards": shards,
         "engines": {},
     }
     for engine in ENGINES:
@@ -223,12 +249,19 @@ def run_scenario(scenario: BenchScenario, log=print) -> dict:
             f"  {scenario.name}/{engine}: {params.num_objects} objects, "
             f"{params.num_queries} queries, {scenario.steps} steps ..."
         )
-        result = run_engine(scenario, engine)
+        result = run_engine(scenario, engine, shards=shards)
         row["engines"][engine] = result
         log(
             f"  {scenario.name}/{engine}: {result['steps_per_sec']:.2f} steps/s "
             f"({result['ms_per_step']:.1f} ms/step)"
         )
+        balance = result.get("load_balance")
+        if balance is not None:
+            log(
+                f"  {scenario.name}/{engine}: {balance['num_shards']} shards, "
+                f"ops {balance['min_ops']}..{balance['max_ops']} "
+                f"(imbalance {balance['imbalance']:.3f}x)"
+            )
     ref = row["engines"].get("reference", {})
     vec = row["engines"].get("vectorized", {})
     if "steps_per_sec" in ref and "steps_per_sec" in vec:
@@ -242,6 +275,7 @@ def run_bench(
     smoke: bool = False,
     out_dir: str | Path | None = None,
     log=print,
+    shards: int = 1,
 ) -> Path:
     """Run the full matrix and write ``BENCH_<tag>.json``; returns the path."""
     if tag is None:
@@ -250,14 +284,18 @@ def run_bench(
     dest = Path(out_dir if out_dir is not None else Path.cwd())
     dest.mkdir(parents=True, exist_ok=True)
     scenarios = scenario_matrix(smoke=smoke)
-    log(f"bench: {len(scenarios)} scenario(s), mode={'smoke' if smoke else 'full'}")
+    log(
+        f"bench: {len(scenarios)} scenario(s), mode={'smoke' if smoke else 'full'}"
+        + (f", shards={shards}" if shards > 1 else "")
+    )
     report = {
         "tag": tag,
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
         "numpy_available": numpy_available(),
+        "shards": shards,
         "created_unix": int(time.time()),
-        "scenarios": [run_scenario(scenario, log=log) for scenario in scenarios],
+        "scenarios": [run_scenario(scenario, log=log, shards=shards) for scenario in scenarios],
     }
     path = dest / f"BENCH_{tag}.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="ascii")

@@ -38,6 +38,9 @@ class VectorizedCoverageIndex:
         self.layout = layout
         self.grid = grid
         self.store = store
+        # Accepted for interface parity with the reference index; the cell
+        # arrays are maintained unconditionally, so nothing extra to track.
+        self.track_cells = False
         np = store.np
         self._empty = np.empty(0, dtype=np.int64)
         self._tile_keys = self._empty
@@ -66,6 +69,11 @@ class VectorizedCoverageIndex:
         self._cell_rows = order
         self._cell_keys = cell_key[order]
         self._cell_oids = store.oids[order].tolist()
+
+    def cell_of(self, oid: ObjectId) -> CellIndex:
+        """The grid cell an object was in at the last rebuild."""
+        row = self.store.row_of[oid]
+        return (int(self.store.cell_i[row]), int(self.store.cell_j[row]))
 
     def covered_by_stations(self, station_ids: Iterable[BaseStationId]) -> set[ObjectId]:
         """Objects inside any of the stations' coverage circles."""

@@ -89,6 +89,7 @@ def run_chaos(
     downlink_loss: float = 0.0,
     burst: bool = False,
     policy: ReliabilityPolicy | None = None,
+    shards: int = 1,
 ) -> dict:
     """Run one chaos scenario and return the JSON-safe report."""
     params = paper_defaults().scaled(scale)
@@ -100,6 +101,7 @@ def run_chaos(
         step_seconds=params.time_step_seconds,
         base_station_side=params.base_station_side,
         engine=engine,
+        shards=shards,
     )
     layout = BaseStationLayout(Grid(params.uod, params.alpha), params.base_station_side)
     schedule = canonical_schedule(steps, [obj.oid for obj in workload.objects], layout, params.uod)
@@ -183,6 +185,7 @@ def run_chaos(
         "seed": seed,
         "steps": steps,
         "scale": scale,
+        "shards": shards,
         "objects": params.num_objects,
         "queries": params.num_queries,
         "channels": {

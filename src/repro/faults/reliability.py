@@ -47,7 +47,11 @@ class ReliabilityLayer:
         self.ack_drops = 0
         self.failures = 0
         self.duplicates_suppressed = 0
-        self._uplink_seq: dict[ObjectId, int] = {}
+        # Keyed by (sender, server endpoint): under a sharded server each
+        # shard is its own ack endpoint, so every (object, shard) pair gets
+        # a private gap-free sequence stream.  The monolith's endpoint is
+        # always 0, collapsing this to the old per-sender stream.
+        self._uplink_seq: dict[tuple[ObjectId, int], int] = {}
 
     # ------------------------------------------------------------- uplink
 
@@ -57,8 +61,9 @@ class ReliabilityLayer:
         sender = getattr(message, "oid", None)
         bits = message.bits  # type: ignore[attr-defined]
         name = type(message).__name__
-        seq = self._uplink_seq.get(sender, 0) + 1
-        self._uplink_seq[sender] = seq
+        stream = (sender, transport.uplink_endpoint(message))
+        seq = self._uplink_seq.get(stream, 0) + 1
+        self._uplink_seq[stream] = seq
         ack = Ack(oid=sender, seq=seq)
         delivered = False
         for attempt in range(self.policy.max_attempts):

@@ -69,13 +69,13 @@ class TestBench:
 
         calls = {}
 
-        def fake_run_bench(tag=None, smoke=False, out_dir=None, log=print):
-            calls.update(tag=tag, smoke=smoke, out_dir=out_dir)
+        def fake_run_bench(tag=None, smoke=False, out_dir=None, log=print, shards=1):
+            calls.update(tag=tag, smoke=smoke, out_dir=out_dir, shards=shards)
             return tmp_path / "BENCH_x.json"
 
         monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
-        assert main(["bench", "--smoke", "--tag", "x"]) == 0
-        assert calls == {"tag": "x", "smoke": True, "out_dir": None}
+        assert main(["bench", "--smoke", "--tag", "x", "--shards", "4"]) == 0
+        assert calls == {"tag": "x", "smoke": True, "out_dir": None, "shards": 4}
 
 
 class TestParser:

@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic grid partitioner (cell -> shard hash)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GridPartitioner
+from repro.geometry import Rect
+from repro.grid import CellRange, Grid
+
+
+def make_grid(cols=10, rows=7, alpha=5.0):
+    return Grid(Rect(0, 0, cols * alpha, rows * alpha), alpha)
+
+
+class TestStripeBounds:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7, 10])
+    def test_columns_partition_exactly(self, num_shards):
+        """Every column is owned by exactly one shard, stripes are
+        contiguous, and shard_of_cell agrees with columns_of."""
+        grid = make_grid(cols=10)
+        part = GridPartitioner(grid, num_shards)
+        seen = []
+        for shard in range(part.num_shards):
+            lo, hi = part.columns_of(shard)
+            assert lo <= hi
+            seen.extend(range(lo, hi + 1))
+        assert seen == list(range(grid.n_cols))
+        for i in range(grid.n_cols):
+            for j in range(grid.n_rows):
+                shard = part.shard_of_cell((i, j))
+                lo, hi = part.columns_of(shard)
+                assert lo <= i <= hi
+                assert part.owns(shard, (i, j))
+
+    def test_near_even_split(self):
+        part = GridPartitioner(make_grid(cols=10), 4)
+        widths = [hi - lo + 1 for lo, hi in (part.columns_of(s) for s in range(4))]
+        assert sum(widths) == 10
+        assert max(widths) - min(widths) <= 1
+
+    def test_requested_count_clamped_to_columns(self):
+        grid = make_grid(cols=4)
+        part = GridPartitioner(grid, 64)
+        assert part.num_shards == 4
+        # Every shard still owns at least one column.
+        assert all(part.columns_of(s)[0] <= part.columns_of(s)[1] for s in range(4))
+
+    def test_out_of_range_cells_clamp(self):
+        part = GridPartitioner(make_grid(cols=10), 3)
+        assert part.shard_of_cell((-5, 0)) == 0
+        assert part.shard_of_cell((999, 0)) == part.num_shards - 1
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(make_grid(), 0)
+
+
+class TestRegionSplit:
+    def test_cells_of_cover_grid(self):
+        grid = make_grid(cols=9, rows=5)
+        part = GridPartitioner(grid, 3)
+        covered = set()
+        for shard in range(part.num_shards):
+            cells = set(part.cells_of(shard))
+            assert not (cells & covered), "shard stripes overlap"
+            covered |= cells
+        assert len(covered) == grid.n_cols * grid.n_rows
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_split_is_exact_partition_of_region(self, num_shards):
+        grid = make_grid(cols=10, rows=6)
+        part = GridPartitioner(grid, num_shards)
+        for lo_i in range(0, 9, 2):
+            for hi_i in range(lo_i, 10, 3):
+                region = CellRange(lo_i, hi_i, 1, 4)
+                portions = part.split(region)
+                assert [s for s, _ in portions] == sorted({s for s, _ in portions}), (
+                    "split not in ascending shard order"
+                )
+                cells = []
+                for shard, portion in portions:
+                    for cell in portion:
+                        assert part.owns(shard, cell)
+                        cells.append(cell)
+                assert sorted(cells) == sorted(region), (
+                    f"split of {region} is not an exact partition"
+                )
+
+    def test_clip_disjoint_is_none(self):
+        part = GridPartitioner(make_grid(cols=10), 2)
+        region = CellRange(0, 2, 0, 3)  # entirely inside shard 0
+        assert part.clip(region, 1) is None
+        assert part.clip(region, 0) == region
+
+    def test_shards_of_region_span(self):
+        part = GridPartitioner(make_grid(cols=10), 2)  # stripes 0-4, 5-9
+        assert list(part.shards_of_region(CellRange(3, 6, 0, 0))) == [0, 1]
+        assert list(part.shards_of_region(CellRange(0, 4, 0, 0))) == [0]
+        assert list(part.shards_of_region(CellRange(5, 9, 0, 0))) == [1]

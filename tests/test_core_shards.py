@@ -1,0 +1,320 @@
+"""The grid-partitioned server: coordinator routing, focal handoff, and
+exactness guarantees.
+
+Three layers of evidence that sharding is a pure refactor of the server
+tier, not a behavior change:
+
+1. a one-shard :class:`~repro.core.coordinator.Coordinator` is
+   *bit-identical* to the monolithic server (results, message counts,
+   ledger bits) on both engines;
+2. multi-shard deployments stay bit-identical to the monolith and exact
+   against the oracle on the dense bench scenario;
+3. the cross-shard mechanics (focal handoff, boundary-spanning RQI
+   registrations, removal racing a handoff) keep every directory and
+   per-shard table consistent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MobiEyesConfig, MobiEyesSystem
+from repro.core.coordinator import Coordinator
+from repro.core.messages import CellChangeReport
+from repro.fastpath import numpy_available
+from repro.fastpath.bench import dense_params
+from repro.geometry import Point
+from repro.sim.rng import SimulationRng
+from repro.workload import generate_workload, paper_defaults
+
+from tests.conftest import circle_query, make_object, make_system
+
+ENGINES = ["reference"] + (["vectorized"] if numpy_available() else [])
+
+
+def build_system(
+    engine="reference",
+    shards=1,
+    scale=0.012,
+    seed=42,
+    params=None,
+    thresh=0.0,
+    one_shard_coordinator=False,
+):
+    """A Table-1 workload system, optionally sharded.
+
+    ``one_shard_coordinator`` forces the full coordinator/shard stack at
+    ``num_shards=1`` (the config path only engages it for ``shards > 1``),
+    which is the configuration the bit-identity tests compare against the
+    monolith.
+    """
+    if params is None:
+        params = dataclasses.replace(paper_defaults(), seed=seed).scaled(scale)
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        base_station_side=params.base_station_side,
+        dead_reckoning_threshold=thresh,
+        engine=engine,
+        shards=shards,
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+        track_accuracy=True,
+    )
+    if one_shard_coordinator:
+        system.server = Coordinator(system.grid, system.transport, config, num_shards=1)
+        # Cell routing was enabled after the coverage index was first
+        # built; rebuild it so sender-cell lookups work from step 0.
+        system.transport.begin_step(0, system._positions())
+    system.install_queries(workload.query_specs)
+    return system
+
+
+def step_snapshot(system):
+    ledger = system.ledger.snapshot()
+    return (
+        sorted((qid, tuple(sorted(oids))) for qid, oids in system.results().items()),
+        ledger.uplink_count,
+        ledger.downlink_count,
+        ledger.uplink_bits,
+        ledger.downlink_bits,
+    )
+
+
+def metrics_snapshot(system, include_ops=True):
+    rows = []
+    for stats in system.metrics.steps:
+        row = dataclasses.asdict(stats)
+        # Wall-clock fields legitimately differ between deployments.
+        row.pop("server_seconds", None)
+        row.pop("object_processing_seconds", None)
+        if not include_ops:
+            # Cross-shard focal handoffs are real extra server work the
+            # monolith never performs; everything else must match.
+            row.pop("server_ops", None)
+        rows.append(row)
+    return rows
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_shard_coordinator_equals_monolith(self, engine):
+        mono = build_system(engine, thresh=1.0)
+        coord = build_system(engine, thresh=1.0, one_shard_coordinator=True)
+        assert isinstance(coord.server, Coordinator)
+        assert coord.server.num_shards == 1
+        for step in range(14):
+            mono.step()
+            coord.step()
+            assert step_snapshot(mono) == step_snapshot(coord), (
+                f"coordinator diverged from monolith at step {step + 1}"
+            )
+            if step % 5 == 0:
+                mono.check_invariants()
+                coord.check_invariants()
+        assert metrics_snapshot(mono) == metrics_snapshot(coord)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_multishard_equals_monolith(self, shards):
+        mono = build_system(thresh=1.0)
+        multi = build_system(shards=shards, thresh=1.0)
+        assert multi.server.num_shards == shards
+        for step in range(12):
+            mono.step()
+            multi.step()
+            assert step_snapshot(mono) == step_snapshot(multi), (
+                f"{shards}-shard deployment diverged at step {step + 1}"
+            )
+        multi.check_invariants()
+        assert metrics_snapshot(mono, include_ops=False) == metrics_snapshot(
+            multi, include_ops=False
+        )
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_multishard_matches_exact_oracle_on_dense_scenario(self, shards):
+        # With continuous dead reckoning (threshold 0) and per-step
+        # evaluation the protocol is exact; sharding must preserve that.
+        params = dataclasses.replace(dense_params(0.015), seed=42)
+        system = build_system(shards=shards, params=params, thresh=0.0)
+        for _ in range(10):
+            system.step()
+            assert system.results() == system.oracle_results()
+        system.check_invariants()
+
+
+def sharded_world(shards=2):
+    """Ten grid columns split into two stripes (0-4 and 5-9); the focal
+    candidate sits in column 4, one cell west of the boundary."""
+    objects = [
+        make_object(0, 24, 25),  # cell (4, 5): last column of shard 0
+        make_object(1, 26, 25),  # cell (5, 5): first column of shard 1
+        make_object(2, 22, 24),  # cell (4, 4): shard 0
+        make_object(3, 45, 45),  # far away, shard 1
+    ]
+    return make_system(objects, shards=shards)
+
+
+class TestCrossShardMechanics:
+    def test_install_query_spanning_shard_boundary(self):
+        system = sharded_world()
+        coord = system.server
+        qid = system.install_query(circle_query(0, 2.0))
+        entry = coord.sqt.get(qid)
+        portions = coord.partitioner.split(entry.mon_region)
+        assert len(portions) == 2, "monitoring region should straddle the boundary"
+        # Each shard's RQI answers for exactly its own portion ...
+        for shard_id, portion in portions:
+            registry = coord.shards[shard_id].registry
+            for cell in portion:
+                assert qid in registry.queries_at(cell)
+        # ... and foreign-cell lookups route through the coordinator.
+        assert qid in coord.shards[1]._queries_at((4, 5))
+        assert qid in coord.shards[0]._queries_at((5, 5))
+        # Clients on both sides of the boundary installed the query.
+        assert qid in system.client(1).lqt
+        assert qid in system.client(2).lqt
+        coord.check_invariants()
+
+    def test_focal_handoff_then_remove_query(self):
+        system = sharded_world()
+        coord = system.server
+        qid = system.install_query(circle_query(0, 2.0))
+        assert coord.owner_of[qid] == 0
+        assert coord._focal_home[0] == 0
+        assert 0 in coord.shards[0].tracker
+
+        # The focal crosses the stripe boundary: its report routes to
+        # shard 1, which acquires the focal before handling the change.
+        client0 = system.client(0)
+        client0.obj.pos = Point(27.0, 25.0)
+        system.transport.uplink(
+            CellChangeReport(
+                oid=0, prev_cell=(4, 5), new_cell=(5, 5), state=client0.obj.snapshot()
+            )
+        )
+        assert coord.owner_of[qid] == 1
+        assert coord._focal_home[0] == 1
+        assert 0 not in coord.shards[0].tracker
+        assert 0 in coord.shards[1].tracker
+        assert qid not in coord.shards[0].registry
+        assert qid in coord.shards[1].registry
+        assert coord.sqt.get(qid).curr_cell == (5, 5)
+        coord.check_invariants()
+
+        # Removal right on the heels of the handoff must clean up every
+        # shard and every directory.
+        system.remove_query(qid)
+        assert qid not in coord.sqt
+        assert 0 not in coord.fot
+        assert qid not in coord.owner_of
+        assert 0 not in coord._focal_home
+        for shard in coord.shards:
+            assert qid not in shard.registry
+            assert 0 not in shard.tracker
+        assert not system.client(0).has_mq
+        coord.check_invariants()
+
+        # A stale in-flight report from the ex-focal must not resurrect
+        # any state.
+        system.transport.uplink(
+            CellChangeReport(oid=0, prev_cell=(5, 5), new_cell=(6, 5))
+        )
+        assert 0 not in coord.fot
+        assert not coord._focal_home
+        coord.check_invariants()
+
+    def test_remove_query_wins_race_against_handoff_report(self):
+        """The removal lands first; the already-in-flight boundary-crossing
+        report from the ex-focal arrives afterwards."""
+        system = sharded_world()
+        coord = system.server
+        qid = system.install_query(circle_query(0, 2.0))
+        client0 = system.client(0)
+        client0.obj.pos = Point(27.0, 25.0)
+        system.remove_query(qid)
+        system.transport.uplink(
+            CellChangeReport(
+                oid=0, prev_cell=(4, 5), new_cell=(5, 5), state=client0.obj.snapshot()
+            )
+        )
+        assert 0 not in coord.fot
+        assert not coord.owner_of
+        assert not coord._focal_home
+        for shard in coord.shards:
+            assert 0 not in shard.tracker
+        coord.check_invariants()
+
+    def test_handoff_preserves_results_and_subscriptions(self):
+        system = sharded_world()
+        coord = system.server
+        qid = system.install_query(circle_query(0, 2.0))
+        events = []
+        system.subscribe(qid, lambda q, o, entered: events.append((q, o, entered)))
+        system.run(2)  # object 1 sits inside the region: a result arrives
+        assert 1 in system.result(qid)
+        assert (qid, 1, True) in events
+        client0 = system.client(0)
+        client0.obj.pos = Point(27.0, 25.0)
+        system.transport.uplink(
+            CellChangeReport(
+                oid=0, prev_cell=(4, 5), new_cell=(5, 5), state=client0.obj.snapshot()
+            )
+        )
+        assert coord.owner_of[qid] == 1
+        # The result set and the subscription survived the migration.
+        assert 1 in system.result(qid)
+        before = len(events)
+        system.transport.uplink(CellChangeReport(oid=0, prev_cell=(5, 5), new_cell=(5, 6)))
+        assert len(events) == before  # no spurious callbacks from routing
+        coord.check_invariants()
+
+
+class TestCoordinatorFacade:
+    def test_shard_count_clamped_to_grid_columns(self):
+        objects = [make_object(0, 24, 25), make_object(1, 26, 25)]
+        system = make_system(objects, shards=64)
+        assert isinstance(system.server, Coordinator)
+        assert system.server.num_shards == 10  # 50-mile UoD / alpha 5
+        system.install_query(circle_query(0, 2.0))
+        system.run(3)
+        system.check_invariants()
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_system([make_object(0, 24, 25)], shards=0)
+
+    def test_load_aggregation_and_shard_loads(self):
+        system = sharded_world()
+        coord = system.server
+        system.install_query(circle_query(0, 2.0))
+        total_ops = coord.op_count
+        assert total_ops == sum(shard.load.ops for shard in coord.shards)
+        assert total_ops > 0
+        seconds, ops = coord.reset_load()
+        assert ops == total_ops
+        assert seconds >= 0.0
+        assert coord.op_count == 0
+        rows = coord.shard_loads()
+        assert [row["shard"] for row in rows] == [0, 1]
+        assert [tuple(row["columns"]) for row in rows] == [(0, 4), (5, 9)]
+        # Lifetime totals survive the reset and cover everything spent.
+        assert sum(row["ops"] for row in rows) == total_ops
+        assert sum(row["queries"] for row in rows) == 1
+        assert sum(row["focals"] for row in rows) == 1
+
+    def test_chaos_converges_with_two_shards(self):
+        from repro.faults.chaos import run_chaos
+
+        baseline = run_chaos(engine="reference", steps=20, scale=0.01, shards=1)
+        sharded = run_chaos(engine="reference", steps=20, scale=0.01, shards=2)
+        assert sharded["converged"]
+        assert sharded["result_hash"] == baseline["result_hash"]
+        assert sharded["message_counts"] == baseline["message_counts"]

@@ -34,6 +34,7 @@ def build(
     thresh=0.0,
     seed=42,
     compact_threshold=None,
+    shards=1,
 ):
     params = dataclasses.replace(paper_defaults(), seed=seed).scaled(scale)
     rng = SimulationRng(params.seed)
@@ -47,6 +48,7 @@ def build(
         propagation=PropagationMode.LAZY if lazy else PropagationMode.EAGER,
         dead_reckoning_threshold=thresh,
         engine=engine,
+        shards=shards,
     )
     loss = (
         LossModel(rng=rng.fork(77), uplink_loss_rate=loss_p, downlink_loss_rate=loss_p)
@@ -112,6 +114,8 @@ MATRIX = [
     dict(loss_p=0.3),
     dict(thresh=1.0),
     dict(grouping=False, safe_period=True, lazy=True, loss_p=0.15, thresh=0.5),
+    dict(shards=2),
+    dict(shards=4, thresh=1.0, loss_p=0.15),
 ]
 
 
