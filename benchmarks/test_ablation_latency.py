@@ -1,0 +1,44 @@
+"""Ablation bench: result staleness under modeled delivery latency."""
+
+
+def test_ablation_latency(run_figure):
+    result = run_figure("ablation-latency")
+    latencies = result.column("latency-steps")
+    jitters = result.column("jitter")
+    errors = [e if e is not None else 0.0 for e in result.column("error")]
+    inflight = result.column("mean-inflight")
+    delays = result.column("delivery-delay")
+
+    fixed = [i for i, j in enumerate(jitters) if j == 0]
+    jittered = [i for i, j in enumerate(jitters) if j > 0]
+    assert fixed and jittered
+
+    # Zero latency is the inline path: exact results, empty pipeline.
+    zero = fixed[0]
+    assert latencies[zero] == 0
+    assert errors[zero] == 0.0
+    assert inflight[zero] == 0.0
+    assert delays[zero] == 0.0
+
+    # Positive latency makes results stale (the server's view lags the
+    # oracle by the pipeline depth), but dead reckoning keeps the error
+    # far from total failure.
+    for i in fixed[1:]:
+        assert errors[i] > 0.0
+        assert errors[i] < 0.85
+
+    # The pipeline actually holds traffic, monotonically more of it as
+    # the per-hop delay grows (Little's law at a roughly fixed rate).
+    for earlier, later in zip(fixed, fixed[1:]):
+        assert inflight[later] > inflight[earlier]
+
+    # With jitter off, every deferred envelope takes exactly the
+    # configured per-hop delay.
+    for i in fixed[1:]:
+        assert delays[i] == latencies[i]
+
+    # Jitter widens the delay (mean strictly above the base latency) and
+    # keeps the error in the same bounded regime.
+    for i in jittered:
+        assert delays[i] > latencies[i]
+        assert 0.0 < errors[i] < 0.85

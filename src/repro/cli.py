@@ -145,9 +145,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.fastpath.bench import run_bench
+    from repro.fastpath.bench import BenchRegression, run_bench
 
-    run_bench(tag=args.tag, smoke=args.smoke, out_dir=args.output, shards=args.shards)
+    try:
+        run_bench(
+            tag=args.tag,
+            smoke=args.smoke,
+            out_dir=args.output,
+            shards=args.shards,
+            latency=args.latency,
+            jitter=args.latency_jitter,
+            compare=args.compare,
+        )
+    except BenchRegression as regression:
+        print(str(regression), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -184,6 +196,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             downlink_loss=args.downlink_loss,
             burst=args.burst,
             shards=args.shards,
+            uplink_latency=args.latency,
+            downlink_latency=args.latency,
+            latency_jitter=args.latency_jitter,
         )
 
     failed = False
@@ -199,7 +214,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             failed = True
     for engine, report in reports.items():
         if not report["converged"]:
-            print(f"NON-CONVERGENCE: {engine} engine never matched the oracle", file=sys.stderr)
+            basis = report.get("recovery_basis", "oracle")
+            print(
+                f"NON-CONVERGENCE: {engine} engine never recovered "
+                f"(basis: {basis})",
+                file=sys.stderr,
+            )
             failed = True
 
     artifact = reports[engines[0]] if len(reports) == 1 else {"engines": reports}
@@ -286,6 +306,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="server shards behind the coordinator (default 1 = monolithic server); "
         "the report gains per-shard load-balance figures when > 1",
     )
+    bench.add_argument(
+        "--latency",
+        type=int,
+        default=0,
+        help="per-link delivery delay in steps applied to both uplink and "
+        "downlink (default 0 = inline delivery)",
+    )
+    bench.add_argument(
+        "--latency-jitter",
+        type=int,
+        default=0,
+        help="seeded random extra delay in [0, N] steps on top of --latency",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        help="previous BENCH_*.json to regression-gate against: exit 1 if any "
+        "matched scenario/engine loses more than 20%% of its steps/sec",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     chaos = sub.add_parser(
@@ -323,6 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="server shards behind the coordinator (default 1 = monolithic server)",
+    )
+    chaos.add_argument(
+        "--latency",
+        type=int,
+        default=0,
+        help="per-link delivery delay in steps applied to both uplink and "
+        "downlink; recovery is then graded against a fault-free twin run",
+    )
+    chaos.add_argument(
+        "--latency-jitter",
+        type=int,
+        default=0,
+        help="seeded random extra delay in [0, N] steps on top of --latency",
     )
     chaos.add_argument("--tag", default=None, help="artifact tag (default: 'local'/'smoke')")
     chaos.add_argument(

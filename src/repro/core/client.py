@@ -68,21 +68,39 @@ class ClientStats:
     processing_seconds: float = 0.0
     uplinks_sent: int = 0
 
-    def reset(self) -> "ClientStats":
-        """Reset the accumulated state."""
-        snapshot = ClientStats(
-            evaluated_queries=self.evaluated_queries,
-            skipped_by_safe_period=self.skipped_by_safe_period,
-            skipped_by_grouping=self.skipped_by_grouping,
-            processing_seconds=self.processing_seconds,
-            uplinks_sent=self.uplinks_sent,
+    def drain(self) -> tuple[int, int, int, float]:
+        """Take ``(evaluated, skipped_by_safe_period, skipped_by_grouping,
+        processing_seconds)`` and zero *every* counter.
+
+        This is the one place the counters are zeroed, shared by the
+        per-step measurement loop (hot path: one call, one tuple, no
+        snapshot object) and :meth:`reset` -- so adding a field cannot
+        silently drift between the two.
+        """
+        out = (
+            self.evaluated_queries,
+            self.skipped_by_safe_period,
+            self.skipped_by_grouping,
+            self.processing_seconds,
         )
         self.evaluated_queries = 0
         self.skipped_by_safe_period = 0
         self.skipped_by_grouping = 0
         self.processing_seconds = 0.0
         self.uplinks_sent = 0
-        return snapshot
+        return out
+
+    def reset(self) -> "ClientStats":
+        """Reset the accumulated state; returns the pre-reset snapshot."""
+        uplinks = self.uplinks_sent
+        evaluated, skipped_sp, skipped_group, processing = self.drain()
+        return ClientStats(
+            evaluated_queries=evaluated,
+            skipped_by_safe_period=skipped_sp,
+            skipped_by_grouping=skipped_group,
+            processing_seconds=processing,
+            uplinks_sent=uplinks,
+        )
 
 
 class MobiEyesClient:
@@ -115,6 +133,10 @@ class MobiEyesClient:
         self._last_downlink_seq: int | None = None
         self._needs_resync = False
         self._suspect = False
+        # Report generation: bumped (by the server, via ResyncResponse)
+        # every time a resync purges this object from the query results, so
+        # reports that were in flight across the purge can be told apart.
+        self._report_epoch = 0
         transport.attach_client(obj.oid, self)
 
     @property
@@ -284,16 +306,30 @@ class MobiEyesClient:
         return moved.contains(self.obj.pos)
 
     def _send_result_changes(self, changes: dict[QueryId, bool]) -> None:
-        self._uplink(ResultChangeReport(oid=self.oid, changes=dict(changes)))
+        self._uplink(
+            ResultChangeReport(
+                oid=self.oid, changes=dict(changes), epoch=self._report_epoch
+            )
+        )
 
     def _uplink(self, message: object) -> None:
         self.stats.uplinks_sent += 1
         acked = self.transport.uplink(message)
         if self.fault_policy is None or not getattr(message, "reliable", False):
             return
-        # A reliable uplink doubles as a connectivity probe: its ack (or
-        # the lack of one after the retry budget) is how the object learns
-        # whether it can still reach the server.
+        if acked is None:
+            # Deferred reliable exchange: the outcome arrives later through
+            # _note_uplink_outcome when the ack lands or the retries drain.
+            return
+        self._note_uplink_outcome(acked)
+
+    def _note_uplink_outcome(self, acked: bool) -> None:
+        """Digest one reliable uplink's fate (immediate or deferred).
+
+        A reliable uplink doubles as a connectivity probe: its ack (or
+        the lack of one after the retry budget) is how the object learns
+        whether it can still reach the server.
+        """
         if acked:
             self._steps_since_ack = 0
             if self._suspect:
@@ -331,9 +367,11 @@ class MobiEyesClient:
     def _send_resync(self) -> None:
         """Ask the server for a full state snapshot (reliable round trip).
 
-        The response arrives synchronously through :meth:`on_downlink`
-        when the exchange succeeds; ``_needs_resync`` is cleared only by
-        :meth:`_apply_resync`, so a lost response retries next step.
+        The response arrives through :meth:`on_downlink` -- within the
+        same step on a zero-latency link, after the modeled round trip
+        otherwise; ``_needs_resync`` is cleared only by
+        :meth:`_apply_resync`, so a lost (or still in-flight) response
+        retries next step.
         """
         self._suspect = False
         state = self.obj.snapshot()
@@ -381,6 +419,7 @@ class MobiEyesClient:
             if desc.mon_region.contains(self.last_cell) and desc.filter.matches(self.obj.props):
                 self.lqt.install(LqtEntry.from_descriptor(desc))
         self._set_has_mq(message.has_mq)
+        self._report_epoch = message.epoch
         self._needs_resync = False
 
     # ----------------------------------------------------------- downlink

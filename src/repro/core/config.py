@@ -48,6 +48,16 @@ class MobiEyesConfig:
             uplinks by cell and hands focal ownership across shard
             boundaries.  Counts exceeding the number of grid columns are
             clamped.
+        uplink_latency_steps: delivery delay of an object -> server
+            message, in whole simulation steps.  ``0`` (the default)
+            delivers inline at send time -- the paper's synchrony
+            assumption and the bit-identical legacy behavior.
+        downlink_latency_steps: delivery delay of one server -> object
+            hop (each broadcast receiver is an independent hop).
+        latency_jitter_steps: extra seeded uniform delay in
+            ``[0, latency_jitter_steps]`` added to every hop.
+        latency_seed: seed of the jitter stream (ignored while the jitter
+            span is zero).
     """
 
     uod: Rect
@@ -63,6 +73,10 @@ class MobiEyesConfig:
     radio: RadioModel = field(default_factory=RadioModel)
     engine: str = "reference"
     shards: int = 1
+    uplink_latency_steps: int = 0
+    downlink_latency_steps: int = 0
+    latency_jitter_steps: int = 0
+    latency_seed: int = 0
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -82,6 +96,9 @@ class MobiEyesConfig:
             raise ValueError(f"engine must be 'reference' or 'vectorized', got {self.engine!r}")
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
+        for knob in ("uplink_latency_steps", "downlink_latency_steps", "latency_jitter_steps"):
+            if getattr(self, knob) < 0:
+                raise ValueError(f"{knob} must be non-negative")
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

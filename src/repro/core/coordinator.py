@@ -73,6 +73,10 @@ class Coordinator:
         self._fot_home: dict[ObjectId, int] = {}
         self._subscribers: dict[QueryId, list[ResultCallback]] = {}
         self._next_qid: QueryId = 1
+        # One report-epoch map for the whole fleet: an object's epoch must
+        # survive focal/cell handoffs between shards (see
+        # MobiEyesServer._report_epoch).
+        self._report_epochs: dict[ObjectId, int] = {}
         self._leases_on = False
         self.shards: list[ServerShard] = []
         for sid in range(self.partitioner.num_shards):
@@ -235,6 +239,16 @@ class Coordinator:
         purged.sort()
         return purged
 
+    def report_epoch(self, oid: ObjectId) -> int:
+        """The report generation currently accepted from ``oid``."""
+        return self._report_epochs.get(oid, 0)
+
+    def bump_report_epoch(self, oid: ObjectId) -> int:
+        """Start a new report generation for ``oid`` (fleet-wide)."""
+        epoch = self._report_epochs.get(oid, 0) + 1
+        self._report_epochs[oid] = epoch
+        return epoch
+
     # ------------------------------------------------------- server API
 
     def install_query(self, spec: QuerySpec) -> QueryId:
@@ -252,7 +266,10 @@ class Coordinator:
             return self.shards[owner].install_query(spec)
         home = self._home_of(spec.oid)
         if home is None:
-            self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
+            # Install-time round trip: forced inline (see the monolith's
+            # install_query) so the directory is populated before we route.
+            with self.transport.synchronous():
+                self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
             home = self._home_of(spec.oid)
             if home is None:
                 raise KeyError(f"focal object {spec.oid} did not answer the state request")

@@ -135,12 +135,20 @@ class ResultChangeReport:
     query grouping enabled a single report carries the whole *query bitmap*
     of a group sharing one focal object; without grouping each report holds
     a single query's flag.
+
+    ``epoch`` is the sender's report generation: the server bumps it when
+    it purges the object during a resync, so a report that was still in
+    flight when the purge happened (possible only under modeled delivery
+    latency) arrives with a stale epoch and is discarded instead of
+    resurrecting a purged membership.  It occupies the per-message
+    sequence slot already budgeted inside ``BITS_HEADER``.
     """
 
     reliable: ClassVar[bool] = False
 
     oid: ObjectId
     changes: dict[QueryId, bool] = field(default_factory=dict)
+    epoch: int = 0
 
     @property
     def bits(self) -> int:
@@ -346,6 +354,9 @@ class ResyncResponse:
     oid: ObjectId
     queries: tuple[QueryDescriptor, ...]
     has_mq: bool
+    # The object's new report epoch (see ResultChangeReport.epoch); rides
+    # the header's sequence slot, so it adds no wire bits.
+    epoch: int = 0
 
     @property
     def bits(self) -> int:

@@ -81,6 +81,10 @@ class MobiEyesServer:
         self.planner = BroadcastPlanner(transport, config.grouping)
         self.load = LoadAccount()
         self._next_qid: QueryId = 1
+        # Per-object report generations (see ResultChangeReport.epoch);
+        # absent means epoch 0.  Sharded servers share one map through the
+        # coordinator so an object's epoch survives cell handoffs.
+        self._report_epochs: dict[ObjectId, int] = {}
         if attach:
             transport.attach_server(self)
 
@@ -161,6 +165,18 @@ class MobiEyesServer:
         """Drop ``oid`` from every query result anywhere; qid-ascending."""
         return self.registry.purge_object(oid)
 
+    def _report_epoch(self, oid: ObjectId) -> int:
+        """The report generation currently accepted from ``oid``."""
+        return self._report_epochs.get(oid, 0)
+
+    def _bump_report_epoch(self, oid: ObjectId) -> int:
+        """Start a new report generation for ``oid`` (after a purge):
+        reports stamped with an older epoch -- still in flight across the
+        purge under modeled latency -- will be discarded on arrival."""
+        epoch = self._report_epochs.get(oid, 0) + 1
+        self._report_epochs[oid] = epoch
+        return epoch
+
     def _acquire_focal(self, oid: ObjectId) -> None:
         """Take over responsibility for a focal object that crossed into
         this server's territory (no-op without partitioning)."""
@@ -178,10 +194,15 @@ class MobiEyesServer:
             return self._install_static(spec)
         with self.load.timed():
             if spec.oid not in self.tracker:
-                # Contact the focal object for its position and velocity;
-                # the response arrives synchronously through on_uplink.
+                # Contact the focal object for its position and velocity.
+                # Installation predates the simulation run (there is no
+                # delivery phase to drain a deferred response), so the
+                # round trip is forced inline regardless of modeled
+                # latency and the response arrives through on_uplink
+                # before the send returns.
                 with self.load.paused():  # the round trip is not server work
-                    self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
+                    with self.transport.synchronous():
+                        self.transport.send(spec.oid, MotionStateRequest(oid=spec.oid))
                 if spec.oid not in self.tracker:
                     raise KeyError(f"focal object {spec.oid} did not answer the state request")
             focal = self.tracker.get(spec.oid)
@@ -372,6 +393,7 @@ class MobiEyesServer:
                         for _region, group in self.planner.groups(entries)
                     ]
             purged = self._purge_object(oid)
+            epoch = self._bump_report_epoch(oid)
             self.load.ops += len(purged)
             queries = tuple(
                 self._descriptor(self._entry_of(qid))
@@ -386,7 +408,9 @@ class MobiEyesServer:
                 combined_region,
                 QueryUpdateBroadcast(queries=tuple(self._descriptor(e) for e in group)),
             )
-        self.transport.send(oid, ResyncResponse(oid=oid, queries=queries, has_mq=has_mq))
+        self.transport.send(
+            oid, ResyncResponse(oid=oid, queries=queries, has_mq=has_mq, epoch=epoch)
+        )
 
     def _on_motion_state(self, message: MotionStateResponse) -> None:
         with self.load.timed():
@@ -482,6 +506,12 @@ class MobiEyesServer:
         """Differentially update query results (Section 3.6)."""
         applied: list[tuple[QueryId, bool]] = []
         with self.load.timed():
+            if message.epoch < self._report_epoch(message.oid):
+                # Sent before this object's last resync purge (only
+                # possible under modeled latency): applying it would
+                # resurrect memberships the purge just erased, and the
+                # rebuilt LQT would never send the compensating removal.
+                return
             for qid, is_target in message.changes.items():
                 entry = self._result_entry(qid)
                 if entry is None:

@@ -19,7 +19,11 @@ its own partition:
   by the time the monitoring regions are refreshed.
 
 The shard never attaches itself to the transport; the coordinator is the
-uplink sink and dispatches to shards by cell.
+uplink sink and dispatches to shards by cell.  Under a nonzero
+:class:`~repro.network.latency.LatencyModel` this means deferred uplinks
+drain from the transport queue into the coordinator, which routes to the
+owning shard within the same delivery slot -- shard count never adds
+hops, so a 1-, 2-, or 4-shard run sees identical message timing.
 """
 
 from __future__ import annotations
@@ -102,6 +106,12 @@ class ServerShard(MobiEyesServer):
 
     def _purge_object(self, oid: ObjectId) -> list[QueryId]:
         return self.coordinator.purge_object(oid)
+
+    def _report_epoch(self, oid: ObjectId) -> int:
+        return self.coordinator.report_epoch(oid)
+
+    def _bump_report_epoch(self, oid: ObjectId) -> int:
+        return self.coordinator.bump_report_epoch(oid)
 
     def _acquire_focal(self, oid: ObjectId) -> None:
         self.coordinator.migrate_focal(oid, self.shard_id)

@@ -7,11 +7,14 @@ motion model, then drives them with the time-stepped engine:
 1. *movement* -- objects move; ``nmo`` random objects pick new velocity
    vectors; the transport's coverage index is refreshed.
 2. *reporting* -- clients detect cell crossings and (for focal objects)
-   dead-reckoning deviations, and uplink reports; the server reacts inline
-   with installs/broadcasts.
-3. *evaluation* -- clients process their LQTs and uplink differential
+   dead-reckoning deviations, and uplink reports; with zero modeled
+   latency the server reacts inline with installs/broadcasts.
+3. *delivery* -- the transport drains deferred envelopes whose modeled
+   latency elapsed and runs the reliability retransmit timers (a no-op
+   without a latency model).
+4. *evaluation* -- clients process their LQTs and uplink differential
    result changes.
-4. *measurement* -- per-step metrics are recorded.
+5. *measurement* -- per-step metrics are recorded.
 
 Typical use::
 
@@ -37,6 +40,7 @@ from repro.metrics.collectors import MetricsLog, StepStats
 from repro.mobility.model import MovingObject, ObjectId
 from repro.mobility.motion import MotionModel
 from repro.network.basestation import BaseStationLayout
+from repro.network.latency import LatencyModel
 from repro.network.loss import LossModel
 from repro.network.messaging import MessageLedger
 from repro.sim.clock import SimulationClock
@@ -59,6 +63,7 @@ class MobiEyesSystem:
         warmup_steps: int = 0,
         loss: LossModel | None = None,
         motion: MotionModel | None = None,
+        latency: LatencyModel | None = None,
     ) -> None:
         self.config = config
         self.rng = rng if rng is not None else SimulationRng()
@@ -69,6 +74,11 @@ class MobiEyesSystem:
         self.transport = SimulatedTransport(
             self.layout, self.grid, self.ledger, trace=trace, loss=loss
         )
+        # Per-link delivery latency: an explicit model wins; otherwise the
+        # config's knobs (all-zero means no model -- the inline fast path).
+        self.latency = latency if latency is not None else LatencyModel.from_config(config)
+        if self.latency is not None:
+            self.transport.set_latency(self.latency)
         if config.shards > 1:
             from repro.core.coordinator import Coordinator
 
@@ -122,6 +132,7 @@ class MobiEyesSystem:
             self.transport.coverage = self._fastpath.coverage
         self.track_accuracy = track_accuracy
         self._last_error: float | None = None
+        self._last_error_step: int | None = None
         self.metrics = MetricsLog(
             step_seconds=config.step_seconds,
             population=len(self.motion),
@@ -132,6 +143,7 @@ class MobiEyesSystem:
         self.engine = SimulationEngine(SimulationClock(config.step_seconds))
         self.engine.register("movement", self._movement_phase)
         self.engine.register("reporting", self._reporting_phase)
+        self.engine.register("delivery", self._delivery_phase)
         if self._fault_injector is not None:
             self.engine.register("server", self._fault_phase)
         self.engine.register("evaluation", self._evaluation_phase)
@@ -193,12 +205,23 @@ class MobiEyesSystem:
         return self.clients[oid]
 
     def check_invariants(self) -> None:
-        """Protocol invariants validated by the test suite."""
+        """Protocol invariants validated by the test suite.
+
+        With modeled latency the client-side coupling invariants are
+        relaxed: installs, removals, and monitoring-region updates may
+        still be in flight, so a client's LQT can legitimately lag the
+        server's tables until the pipeline drains.  The structural
+        server-side invariants and the "never monitor your own query"
+        rule hold regardless.
+        """
         self.server.check_invariants()
+        relaxed = self.transport.latency_active or self.transport.pending_count() > 0
         for oid in self._client_order:
             client = self.clients[oid]
             for entry in client.lqt.entries():
                 assert entry.oid != oid, "object monitors its own query"
+                if relaxed:
+                    continue
                 assert entry.qid in self.server.sqt, "LQT holds a removed query"
                 assert entry.mon_region.contains(client.last_cell), (
                     "LQT entry's monitoring region does not cover the object's cell"
@@ -229,6 +252,10 @@ class MobiEyesSystem:
             and clock.step % beacon == 0
         ):
             self.server.beacon_static_queries()
+
+    def _delivery_phase(self, clock: SimulationClock) -> None:
+        """Drain deferred envelopes due this step (no-op without latency)."""
+        self.transport.delivery_phase(clock.step)
 
     def _fault_phase(self, clock: SimulationClock) -> None:
         """Fault-injection housekeeping between reporting and evaluation.
@@ -272,35 +299,32 @@ class MobiEyesSystem:
             skipped_sp = 0
             skipped_group = 0
             processing = 0.0
-            # Inline aggregation (no snapshot objects): this loop touches
-            # every client every step, so it is on the measured hot path.
+            # This loop touches every client every step, so it stays on
+            # the measured hot path; draining goes through the dataclass
+            # (one call, one tuple) so a new counter field cannot silently
+            # diverge from ClientStats.reset.
             for oid in self._client_order:
                 client = self.clients[oid]
                 lqt_total += len(client.lqt)
-                stats = client.stats
-                if stats.evaluated_queries:
-                    evaluated += stats.evaluated_queries
-                    stats.evaluated_queries = 0
-                if stats.skipped_by_safe_period:
-                    skipped_sp += stats.skipped_by_safe_period
-                    stats.skipped_by_safe_period = 0
-                if stats.skipped_by_grouping:
-                    skipped_group += stats.skipped_by_grouping
-                    stats.skipped_by_grouping = 0
-                if stats.processing_seconds:
-                    processing += stats.processing_seconds
-                    stats.processing_seconds = 0.0
-                stats.uplinks_sent = 0
+                d_evaluated, d_skipped_sp, d_skipped_group, d_processing = client.stats.drain()
+                evaluated += d_evaluated
+                skipped_sp += d_skipped_sp
+                skipped_group += d_skipped_group
+                processing += d_processing
 
         # Accuracy is sampled on evaluation steps only: results change
         # meaningfully when the objects re-evaluate their LQTs, and the
         # oracle pass is by far the most expensive part of measurement.
-        # Intermediate steps carry the last sample forward.
-        error = self._last_error
+        # Intermediate steps carry the last sample forward, stamped with
+        # the step it was taken at so a stale sample is never mistaken
+        # for a current one.
         if self.track_accuracy and clock.step % self.config.eval_period_steps == 0:
-            error = mean_result_error(self.results(), self.oracle_results())
-            self._last_error = error
+            self._last_error = mean_result_error(self.results(), self.oracle_results())
+            self._last_error_step = clock.step
+        error = self._last_error
+        error_step = self._last_error_step
 
+        delivered, delay_sum = self.transport.drain_delivery_stats()
         self.metrics.append(
             StepStats(
                 step=clock.step,
@@ -317,5 +341,9 @@ class MobiEyesSystem:
                 skipped_by_grouping=skipped_group,
                 object_processing_seconds=processing,
                 result_error=error,
+                result_error_step=error_step,
+                inflight_messages=self.transport.pending_count(),
+                delivered_messages=delivered,
+                delivery_delay_steps=delay_sum,
             )
         )

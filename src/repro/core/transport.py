@@ -8,8 +8,16 @@ object inside a broadcasting station's coverage circle *hears* the broadcast
 (and pays receive energy) whether or not the content is relevant -- the
 over-hearing the paper identifies as MobiEyes' main energy overhead.
 
-Delivery is synchronous within a time step, which matches the paper's
-assumption that protocol exchanges complete within the 30-second step.
+Delivery is staged through a deferred message pipeline: every hop is
+stamped with a per-link delay by an optional
+:class:`~repro.network.latency.LatencyModel` and queued as a timestamped
+:class:`Envelope`; the engine's *delivery phase* drains the envelopes
+whose delay elapsed in deterministic ``(deliver_step, sender, seq)``
+order.  A zero-delay hop (the default -- no latency model attached, or a
+model with all-zero delays) completes *inline at send time*, which is
+exactly the paper's assumption that protocol exchanges complete within
+the 30-second step; the inline path is bit-identical to the historical
+call-at-send transport.
 
 One modeling note: the server's *minimal station cover* of a monitoring
 region picks stations whose coverage circles intersect every region cell,
@@ -23,15 +31,44 @@ chosen station) without introducing delivery gaps the paper does not model.
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol
 
 from repro.geometry import Point
 from repro.grid import CellIndex, CellRange, Grid
 from repro.mobility.model import ObjectId
 from repro.network.basestation import BaseStationId, BaseStationLayout
+from repro.network.latency import LatencyModel
 from repro.network.loss import LossModel
 from repro.network.messaging import MessageLedger
 from repro.sim.trace import TraceLog
+
+# Envelope sender key for server-originated traffic.  Object ids are
+# non-negative, so the server's messages sort first within a step.
+SERVER_SENDER = -1
+
+
+@dataclass(slots=True)
+class Envelope:
+    """One deferred hop in the delivery pipeline.
+
+    Ordering within a delivery step is total and deterministic: envelopes
+    drain sorted by ``(sender, seq)``, where ``seq`` is a transport-global
+    monotonic stamp allocated at enqueue time -- so two messages from the
+    same sender can never reorder, and ties across senders break by the
+    sender key (:data:`SERVER_SENDER` before any object id).
+    """
+
+    deliver_step: int
+    sender: int
+    seq: int
+    kind: str  # "uplink" | "downlink" | a reliability exchange kind
+    message: object
+    sent_step: int
+    receiver: ObjectId | None = None
+    downlink_seq: int | None = None
+    context: object = None  # reliability exchange state, when applicable
 
 
 class DownlinkReceiver(Protocol):
@@ -154,6 +191,17 @@ class SimulatedTransport:
         # Sharded-server support: when on, the coverage index keeps a
         # per-object cell lookup so uplinks can be routed by sender cell.
         self._route_cells = False
+        # Deferred-delivery pipeline: per-link delays from the latency
+        # model, envelopes parked until their deliver_step, and a forced-
+        # inline depth for exchanges that must complete within a call
+        # (install-time round trips).
+        self.latency: LatencyModel | None = None
+        self._queue: dict[int, list[Envelope]] = {}
+        self._envelope_seq = 0
+        self._force_inline = 0
+        # Per-step delivery statistics, drained by the metrics collector.
+        self._delivered_deferred = 0
+        self._delivered_delay_sum = 0
 
     # ------------------------------------------------------------- wiring
 
@@ -210,13 +258,133 @@ class SimulatedTransport:
         self._downlink_seq[oid] = seq
         return seq
 
+    # ----------------------------------------------------------- pipeline
+
+    def set_latency(self, model: LatencyModel | None) -> None:
+        """Attach (or clear) the per-link latency model."""
+        self.latency = model
+
+    @property
+    def latency_active(self) -> bool:
+        """Whether hops are currently being deferred (a nonzero latency
+        model is attached and no forced-inline section is open)."""
+        return (
+            self.latency is not None and not self._force_inline and not self.latency.is_zero
+        )
+
+    @contextmanager
+    def synchronous(self) -> Iterator[None]:
+        """Force every hop inline for the duration of the block.
+
+        Used for exchanges that must complete within a single call -- the
+        install-time motion-state round trip predates the simulation run,
+        so there is no delivery phase to drain a deferred response.
+        """
+        self._force_inline += 1
+        try:
+            yield
+        finally:
+            self._force_inline -= 1
+
+    def _uplink_delay(self) -> int:
+        if not self.latency_active:
+            return 0
+        return self.latency.uplink_delay()
+
+    def _downlink_delay(self) -> int:
+        if not self.latency_active:
+            return 0
+        return self.latency.downlink_delay()
+
+    def _enqueue(
+        self,
+        kind: str,
+        message: object,
+        sender: int,
+        delay: int,
+        *,
+        receiver: ObjectId | None = None,
+        downlink_seq: int | None = None,
+        context: object = None,
+    ) -> Envelope:
+        """Park one hop in the pipeline until its delay elapses."""
+        self._envelope_seq += 1
+        envelope = Envelope(
+            deliver_step=self._step + delay,
+            sender=sender,
+            seq=self._envelope_seq,
+            kind=kind,
+            message=message,
+            sent_step=self._step,
+            receiver=receiver,
+            downlink_seq=downlink_seq,
+            context=context,
+        )
+        self._queue.setdefault(envelope.deliver_step, []).append(envelope)
+        return envelope
+
+    def delivery_phase(self, step: int) -> None:
+        """Drain every due envelope, then run the retransmit timers.
+
+        Envelopes due the same step drain in ``(sender, seq)`` order;
+        opening an envelope may enqueue follow-up hops (acks, reactions),
+        but those always land on a strictly later step, so one pass over
+        the due keys is complete.
+        """
+        queue = self._queue
+        if queue:
+            for due in sorted(key for key in queue if key <= step):
+                batch = queue.pop(due)
+                batch.sort(key=lambda env: (env.sender, env.seq))
+                for envelope in batch:
+                    self._open_envelope(envelope, step)
+        if self.reliability is not None:
+            self.reliability.advance(step)
+
+    def _open_envelope(self, envelope: Envelope, step: int) -> None:
+        """Hand one due envelope to its receiver."""
+        self._delivered_deferred += 1
+        self._delivered_delay_sum += step - envelope.sent_step
+        kind = envelope.kind
+        if kind == "uplink":
+            self._server.on_uplink(envelope.message)
+            return
+        if kind == "downlink":
+            client = self._clients.get(envelope.receiver)
+            if client is None:
+                return  # radio detached while the message was in flight
+            if envelope.downlink_seq is not None:
+                observe = getattr(client, "observe_downlink_seq", None)
+                if observe is not None:
+                    observe(envelope.downlink_seq)
+            client.on_downlink(envelope.message)
+            return
+        self.reliability.open_envelope(envelope)
+
+    def pending_count(self) -> int:
+        """Envelopes currently in flight (enqueued, not yet delivered)."""
+        return sum(len(batch) for batch in self._queue.values())
+
+    def drain_delivery_stats(self) -> tuple[int, int]:
+        """``(deferred deliveries, summed delivery delay in steps)`` since
+        the last drain; zeroed for the next measurement window."""
+        delivered = self._delivered_deferred
+        delay_sum = self._delivered_delay_sum
+        self._delivered_deferred = 0
+        self._delivered_delay_sum = 0
+        return delivered, delay_sum
+
     # ------------------------------------------------------------ traffic
 
-    def uplink(self, message: object) -> bool:
+    def uplink(self, message: object) -> bool | None:
         """Object -> server message through the covering base station.
 
         Returns whether the message reached the server (and, for reliable
-        messages under fault injection, was acknowledged back).
+        messages under fault injection, was acknowledged back).  Under
+        modeled latency a deferred hop returns ``True`` when it is on the
+        wire (loss is rolled at send time), and a deferred reliable
+        exchange returns ``None`` -- the outcome is reported to the sender
+        when the ack arrives or the retry budget drains.
         """
         if self._server is None:
             raise RuntimeError("no server attached to transport")
@@ -229,14 +397,21 @@ class SimulatedTransport:
             self.trace.record(self._step, "uplink", type=type(message).__name__, oid=sender)
         if self.loss is not None and self.loss.drop_uplink(message):
             return False  # sent (and accounted) but lost in transit
-        self._server.on_uplink(message)
+        delay = self._uplink_delay()
+        if delay <= 0:
+            self._server.on_uplink(message)
+            return True
+        self._enqueue(
+            "uplink", message, sender if sender is not None else SERVER_SENDER, delay
+        )
         return True
 
-    def send(self, oid: ObjectId, message: object) -> bool:
+    def send(self, oid: ObjectId, message: object) -> bool | None:
         """Server -> one object (counted as a single downlink message).
 
         Returns whether the receiver got the message (acknowledged, for
-        reliable messages under fault injection).
+        reliable messages under fault injection; ``None`` while a deferred
+        reliable exchange is still in flight).
         """
         if self.reliability is not None and getattr(message, "reliable", False):
             return self.reliability.reliable_send(oid, message)
@@ -282,19 +457,27 @@ class SimulatedTransport:
 
         Receivers without an attached radio are skipped before any loss
         roll -- there is no radio to miss the message, so no drop is
-        counted and no randomness is consumed.
+        counted and no randomness is consumed.  Loss rolls and sequence
+        allocation happen at send time; under modeled latency the
+        surviving hop is parked in the pipeline and the receiver observes
+        the sequence number when the envelope opens.
         """
         client = self._clients.get(oid)
         if client is None:
             return False
         dropped = self.loss is not None and self.loss.drop_delivery(message, receiver=oid)
-        if self.reliability is not None:
-            seq = self.next_downlink_seq(oid)
-            if not dropped:
-                observe = getattr(client, "observe_downlink_seq", None)
-                if observe is not None:
-                    observe(seq)
+        seq = self.next_downlink_seq(oid) if self.reliability is not None else None
         if dropped:
             return False
+        delay = self._downlink_delay()
+        if delay > 0:
+            self._enqueue(
+                "downlink", message, SERVER_SENDER, delay, receiver=oid, downlink_seq=seq
+            )
+            return True
+        if seq is not None:
+            observe = getattr(client, "observe_downlink_seq", None)
+            if observe is not None:
+                observe(seq)
         client.on_downlink(message)
         return True

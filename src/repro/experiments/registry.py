@@ -7,6 +7,7 @@ from typing import Callable, Protocol
 from repro.experiments.figures import (
     ablation_dead_reckoning,
     ablation_grouping,
+    ablation_latency,
     ablation_message_loss,
     ablation_mobility,
     ablation_propagation,
@@ -57,6 +58,7 @@ _MODULES = (
     ablation_propagation,
     ablation_message_loss,
     ablation_mobility,
+    ablation_latency,
     analysis_optimal_alpha,
     analysis_lqt_size,
 )

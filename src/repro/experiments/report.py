@@ -111,6 +111,14 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "random-waypoint model -- EQP stays exact and MobiEyes keeps its "
         "messaging advantage under both."
     ),
+    "ablation-latency": (
+        "Extension (the paper reasons about propagation delay analytically "
+        "but simulates instantaneous delivery): per-hop delivery latency "
+        "through the deferred message pipeline. Zero latency is exact (the "
+        "inline path is bit-identical); positive latency makes results lag "
+        "the oracle by the pipeline depth, with the error bounded by dead "
+        "reckoning and the in-flight depth tracking the delay."
+    ),
     "analysis-alpha": (
         "Extension (the paper omits its analytical optimal-alpha model 'for "
         "space restrictions'): our reconstructed model's messages/second "

@@ -72,6 +72,9 @@ class BenchScenario:
     safe_period: bool = False
     dead_reckoning_threshold: float = 0.0
     track_accuracy: bool = False
+    uplink_latency: int = 0
+    downlink_latency: int = 0
+    latency_jitter: int = 0
 
 
 def dense_params(scale: float = 1.0) -> SimulationParameters:
@@ -85,8 +88,15 @@ def dense_params(scale: float = 1.0) -> SimulationParameters:
     return params.scaled(scale) if scale != 1.0 else params
 
 
-def scenario_matrix(smoke: bool = False) -> list[BenchScenario]:
-    """The fixed scenarios a bench run executes, in order."""
+def scenario_matrix(
+    smoke: bool = False, latency: int = 0, jitter: int = 0
+) -> list[BenchScenario]:
+    """The fixed scenarios a bench run executes, in order.
+
+    ``latency`` applies the same per-link delay to the uplink and the
+    downlink of every scenario (``jitter`` adds the seeded random extra),
+    exercising the deferred delivery pipeline under benchmark load.
+    """
     if smoke:
         scale = bench_scale_from_env(default=SMOKE_SCALE)
         steps, warmup = SMOKE_STEPS, SMOKE_WARMUP
@@ -103,6 +113,9 @@ def scenario_matrix(smoke: bool = False) -> list[BenchScenario]:
             steps=steps,
             warmup=warmup,
             dead_reckoning_threshold=1.0,
+            uplink_latency=latency,
+            downlink_latency=latency,
+            latency_jitter=jitter,
         ),
         BenchScenario(
             name="paper",
@@ -111,6 +124,9 @@ def scenario_matrix(smoke: bool = False) -> list[BenchScenario]:
             steps=steps,
             warmup=warmup,
             dead_reckoning_threshold=1.0,
+            uplink_latency=latency,
+            downlink_latency=latency,
+            latency_jitter=jitter,
         ),
     ]
 
@@ -157,6 +173,10 @@ def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
         safe_period=scenario.safe_period,
         engine=engine,
         shards=shards,
+        uplink_latency_steps=scenario.uplink_latency,
+        downlink_latency_steps=scenario.downlink_latency,
+        latency_jitter_steps=scenario.latency_jitter,
+        latency_seed=params.seed,
     )
     built = time.perf_counter()
     system = MobiEyesSystem(
@@ -192,6 +212,7 @@ def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
         "result_hash": result_hash(system),
         "uplink_messages": system.ledger.uplink_count,
         "downlink_messages": system.ledger.downlink_count,
+        "pending_messages_at_end": system.transport.pending_count(),
     }
     shard_loads = getattr(system.server, "shard_loads", None)
     if shard_loads is not None:
@@ -238,6 +259,11 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
         "safe_period": scenario.safe_period,
         "dead_reckoning_threshold": scenario.dead_reckoning_threshold,
         "shards": shards,
+        "latency": {
+            "uplink_steps": scenario.uplink_latency,
+            "downlink_steps": scenario.downlink_latency,
+            "jitter_steps": scenario.latency_jitter,
+        },
         "engines": {},
     }
     for engine in ENGINES:
@@ -270,23 +296,83 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
     return row
 
 
+class BenchRegression(RuntimeError):
+    """Raised when a bench run falls below the baseline by more than the
+    allowed throughput margin (the artifact is still written first)."""
+
+
+def compare_reports(new: dict, baseline: dict, threshold: float = 0.2) -> list[str]:
+    """Regression-gate a fresh bench report against a baseline artifact.
+
+    Returns one message per scenario/engine pair whose ``steps_per_sec``
+    dropped by more than ``threshold`` (fraction) relative to the
+    baseline.  Pairs are matched by scenario name and engine; a pair is
+    only compared when mode, shards, and latency settings agree, so a
+    baseline recorded under different knobs silently gates nothing.
+    """
+    failures: list[str] = []
+    # Reports written before the shard/latency knobs existed lack the
+    # keys; they were all single-shard, zero-latency runs.
+    if new.get("mode") != baseline.get("mode") or (new.get("shards") or 1) != (
+        baseline.get("shards") or 1
+    ):
+        return failures
+    baseline_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
+    for row in new.get("scenarios", []):
+        base_row = baseline_rows.get(row["name"])
+        if base_row is None:
+            continue
+        if row.get("latency") != base_row.get(
+            "latency", {"uplink_steps": 0, "downlink_steps": 0, "jitter_steps": 0}
+        ):
+            continue
+        for engine, result in row.get("engines", {}).items():
+            base_result = base_row.get("engines", {}).get(engine, {})
+            new_rate = result.get("steps_per_sec")
+            base_rate = base_result.get("steps_per_sec")
+            if new_rate is None or base_rate is None or base_rate <= 0:
+                continue
+            floor = (1.0 - threshold) * base_rate
+            if new_rate < floor:
+                failures.append(
+                    f"{row['name']}/{engine}: {new_rate:.2f} steps/s is below "
+                    f"{floor:.2f} (baseline {base_rate:.2f} - {threshold:.0%})"
+                )
+    return failures
+
+
 def run_bench(
     tag: str | None = None,
     smoke: bool = False,
     out_dir: str | Path | None = None,
     log=print,
     shards: int = 1,
+    latency: int = 0,
+    jitter: int = 0,
+    compare: str | Path | None = None,
+    compare_threshold: float = 0.2,
 ) -> Path:
-    """Run the full matrix and write ``BENCH_<tag>.json``; returns the path."""
+    """Run the full matrix and write ``BENCH_<tag>.json``; returns the path.
+
+    With ``compare`` pointing at a previous ``BENCH_*.json``, the fresh
+    report is regression-gated against it after being written:
+    :class:`BenchRegression` is raised if any matched scenario/engine lost
+    more than ``compare_threshold`` of its baseline steps/sec.
+    """
     if tag is None:
         tag = "smoke" if smoke else "local"
     # Fail fast on an unwritable destination -- before minutes of scenarios.
     dest = Path(out_dir if out_dir is not None else Path.cwd())
     dest.mkdir(parents=True, exist_ok=True)
-    scenarios = scenario_matrix(smoke=smoke)
+    baseline = None
+    if compare is not None:
+        baseline = json.loads(Path(compare).read_text(encoding="ascii"))
+    scenarios = scenario_matrix(smoke=smoke, latency=latency, jitter=jitter)
     log(
         f"bench: {len(scenarios)} scenario(s), mode={'smoke' if smoke else 'full'}"
         + (f", shards={shards}" if shards > 1 else "")
+        + (f", latency={latency}" if latency else "")
+        + (f", jitter={jitter}" if jitter else "")
     )
     report = {
         "tag": tag,
@@ -294,6 +380,7 @@ def run_bench(
         "python": sys.version.split()[0],
         "numpy_available": numpy_available(),
         "shards": shards,
+        "latency": {"uplink_steps": latency, "downlink_steps": latency, "jitter_steps": jitter},
         "created_unix": int(time.time()),
         "scenarios": [run_scenario(scenario, log=log, shards=shards) for scenario in scenarios],
     }
@@ -304,4 +391,11 @@ def run_bench(
             match = "results match" if row["results_match"] else "RESULTS DIFFER"
             log(f"  {row['name']}: vectorized {row['speedup']}x vs reference ({match})")
     log(f"bench: wrote {path}")
+    if baseline is not None:
+        failures = compare_reports(report, baseline, threshold=compare_threshold)
+        if failures:
+            raise BenchRegression(
+                f"bench regression vs {compare}: " + "; ".join(failures)
+            )
+        log(f"bench: within {compare_threshold:.0%} of baseline {compare}")
     return path

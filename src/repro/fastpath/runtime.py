@@ -15,6 +15,13 @@ phases of :class:`~repro.core.system.MobiEyesSystem`:
   reference loop, so skipping them is unobservable.
 - *evaluation*: one system-wide :class:`BatchEvaluator` pass.
 
+The *delivery* phase is not vectorized: deferred envelopes (nonzero
+modeled latency) drain through the transport's scalar handlers, and the
+client reactions they trigger -- LQT installs, focal-state flips --
+reach the batch evaluator through the same push-based ``attach`` hooks
+the reporting phase uses, so a message that arrives late lands in the
+arena exactly as if its handler had run inline.
+
 The reporting scan picks dead-reckoning candidates from the system's
 ``focal_flags`` -- the client-side registry of who believes it has moving
 queries -- rather than the server's FOT.  The two agree in fault-free
@@ -143,16 +150,15 @@ class FastpathRuntime:
         lqt_total = ev.lqt_total()
         evaluated, skipped_sp, skipped_group = self.drain_eval_counts()
         for oid in ev._static_oids:
-            stats = self.system.clients[oid].stats
-            if stats.evaluated_queries:
-                evaluated += stats.evaluated_queries
-                stats.evaluated_queries = 0
-            if stats.skipped_by_safe_period:
-                skipped_sp += stats.skipped_by_safe_period
-                stats.skipped_by_safe_period = 0
-            if stats.skipped_by_grouping:
-                skipped_group += stats.skipped_by_grouping
-                stats.skipped_by_grouping = 0
+            # drain() also zeroes uplinks_sent and processing_seconds;
+            # neither accumulates for static clients in fastpath mode (the
+            # evaluator calls their scalar path directly), so the dataclass
+            # method is as cheap as the old hand-zeroing and stays in sync
+            # with any future ClientStats fields.
+            c_eval, c_sp, c_group, _ = self.system.clients[oid].stats.drain()
+            evaluated += c_eval
+            skipped_sp += c_sp
+            skipped_group += c_group
         return lqt_total, evaluated, skipped_sp, skipped_group, self.drain_processing_seconds()
 
     def drain_eval_counts(self) -> tuple[int, int, int]:

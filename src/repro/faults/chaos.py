@@ -15,12 +15,22 @@ produce the same report apart from the ``engine`` field itself.
 Convergence metrics:
 
 - ``reconvergence``: for each fault window, how many steps after the
-  window closed the system needed to match the oracle exactly again
-  (``null`` if it never did within the run).
+  window closed the system needed to recover exactly (``null`` if it
+  never did within the run).
 - ``staleness_weighted_error``: mean over steps of the symmetric error
   fraction weighted by how many consecutive steps the system had already
   been wrong -- long-lived staleness is punished quadratically, brief
   blips barely register.
+
+Recovery basis: with zero modeled latency, "recovered" means matching
+the exact oracle (fault-free runs match it every step).  With nonzero
+latency the oracle is an unfair yardstick -- even a fault-free run lags
+it by the delivery pipeline's depth -- so the harness runs a fault-free
+*twin* with the identical latency configuration alongside and grades
+recovery as exact realignment with the twin's results.  The twin
+comparison is exact only for deterministic delays (``latency_jitter``
+0): jitter rolls are consumed per enqueued message, so a faulted run and
+its twin draw different delays and never bit-realign.
 """
 
 from __future__ import annotations
@@ -90,6 +100,9 @@ def run_chaos(
     burst: bool = False,
     policy: ReliabilityPolicy | None = None,
     shards: int = 1,
+    uplink_latency: int = 0,
+    downlink_latency: int = 0,
+    latency_jitter: int = 0,
 ) -> dict:
     """Run one chaos scenario and return the JSON-safe report."""
     params = paper_defaults().scaled(scale)
@@ -102,6 +115,10 @@ def run_chaos(
         base_station_side=params.base_station_side,
         engine=engine,
         shards=shards,
+        uplink_latency_steps=uplink_latency,
+        downlink_latency_steps=downlink_latency,
+        latency_jitter_steps=latency_jitter,
+        latency_seed=seed,
     )
     layout = BaseStationLayout(Grid(params.uod, params.alpha), params.base_station_side)
     schedule = canonical_schedule(steps, [obj.oid for obj in workload.objects], layout, params.uod)
@@ -125,9 +142,26 @@ def run_chaos(
     injector.uplink_channel = _make_channel(channel_rng, uplink_loss, burst)
     injector.downlink_channel = _make_channel(channel_rng, downlink_loss, burst)
 
+    # Recovery yardstick under latency: a fault-free twin with the same
+    # latency pipeline (motion is identical -- faults never touch the
+    # motion rng), stepped in lockstep.
+    latency_on = bool(uplink_latency or downlink_latency or latency_jitter)
+    twin = None
+    if latency_on:
+        twin_rng = SimulationRng(seed)
+        twin_workload = generate_workload(params, twin_rng.fork(1))
+        twin = MobiEyesSystem(
+            config,
+            list(twin_workload.objects),
+            twin_rng.fork(2),
+            velocity_changes_per_step=params.velocity_changes_per_step,
+        )
+        twin.install_queries(twin_workload.query_specs)
+
     sym_fracs: list[float] = []
     sym_counts: list[int] = []
     missing_fracs: list[float] = []
+    recovery_counts: list[int] = []
     for _ in range(steps):
         system.step()
         results = system.results()
@@ -145,6 +179,20 @@ def run_chaos(
         sym_counts.append(diff)
         sym_fracs.append(diff / denom)
         missing_fracs.append(miss / denom)
+        if twin is not None:
+            twin.step()
+            twin_results = twin.results()
+            recovery_counts.append(
+                sum(
+                    len(
+                        frozenset(results.get(qid, frozenset()))
+                        ^ frozenset(twin_results.get(qid, frozenset()))
+                    )
+                    for qid in set(results) | set(twin_results)
+                )
+            )
+        else:
+            recovery_counts.append(diff)
 
     # Steps-to-reconverge, measured from each fault window's end to the
     # first step at which the system matches the oracle exactly.
@@ -155,14 +203,14 @@ def run_chaos(
     for end in window_ends:
         settled = None
         for step in range(end, steps + 1):
-            if sym_counts[step - 1] == 0:
+            if recovery_counts[step - 1] == 0:
                 settled = step - end
                 break
         reconvergence.append({"window_end": end, "steps_to_reconverge": settled})
     if reconvergence:
         converged = all(r["steps_to_reconverge"] is not None for r in reconvergence)
     else:
-        converged = sym_counts[-1] == 0 if sym_counts else True
+        converged = recovery_counts[-1] == 0 if recovery_counts else True
 
     age = 0
     weighted = 0.0
@@ -193,11 +241,19 @@ def run_chaos(
             "downlink_loss": downlink_loss,
             "burst": burst,
         },
+        "latency": {
+            "uplink_steps": uplink_latency,
+            "downlink_steps": downlink_latency,
+            "jitter_steps": latency_jitter,
+            "pending_at_end": system.transport.pending_count(),
+        },
         "schedule": schedule.describe(),
         "per_step": {
             "symmetric_error": [round(v, 9) for v in sym_fracs],
             "missing_fraction": [round(v, 9) for v in missing_fracs],
+            "twin_divergence": recovery_counts if twin is not None else None,
         },
+        "recovery_basis": "twin" if twin is not None else "oracle",
         "final_symmetric_error": round(sym_fracs[-1], 9) if sym_fracs else 0.0,
         "reconvergence": reconvergence,
         "converged": converged,

@@ -1,11 +1,17 @@
 """Reliability protocol parameters.
 
 All durations are measured in simulation steps (the paper's 30-second
-intervals) except the retry budget, which counts *sub-step rounds*: the
-simulation's synchronous within-step delivery means a retransmission and
-its ack both complete inside the step that sent the original, so retries
-are modeled as up to ``max_attempts`` back-to-back rounds of the same
-step rather than spilling into later steps.
+intervals).  The retry budget's meaning depends on the transport's
+latency mode:
+
+- With zero modeled latency (the default), ``max_attempts`` counts
+  *sub-step rounds*: synchronous within-step delivery means a
+  retransmission and its ack both complete inside the step that sent the
+  original, so retries are back-to-back rounds of the same step.
+- With a nonzero :class:`~repro.network.latency.LatencyModel`, each
+  attempt occupies a real round trip: the sender arms a retransmit timer
+  to the model's worst-case RTT and re-sends from the delivery phase of
+  a *later* step, up to the same ``max_attempts`` wire transmissions.
 """
 
 from __future__ import annotations

@@ -2,13 +2,13 @@
 
 The plain :class:`~repro.network.loss.LossModel` hand-waves reliability
 by exempting control-plane messages from loss.  This layer earns it: a
-reliable message is (re)transmitted up to ``policy.max_attempts`` times
-in back-to-back sub-step rounds, the receiver acknowledges each copy it
-hears with an :class:`~repro.core.messages.Ack`, and the exchange
-succeeds only when the *sender* sees an ack.  Every transmission attempt
-and every ack is charged to the :class:`~repro.network.messaging
-.MessageLedger`, so under faults the message/energy figures include the
-price of reliability -- nothing is free.
+reliable message is (re)transmitted up to ``policy.max_attempts`` times,
+the receiver acknowledges each copy it hears with an
+:class:`~repro.core.messages.Ack`, and the exchange succeeds only when
+the *sender* sees an ack.  Every transmission attempt and every ack is
+charged to the :class:`~repro.network.messaging.MessageLedger`, so under
+faults the message/energy figures include the price of reliability --
+nothing is free.
 
 Sequencing and dedup: each reliable uplink gets a per-sender sequence
 number and each reliable downlink occupies one slot in the receiver's
@@ -18,13 +18,25 @@ The receiver processes only the first copy that arrives -- duplicates
 caused by a lost ack are suppressed, which is what the echoed sequence
 number buys in a real stack.
 
-Timeouts are implicit: within-step delivery is synchronous, so "no ack
-came back" is known immediately and the retry happens in the same step
-(see :mod:`repro.faults.policy` on sub-step rounds).
+Two timing modes, chosen per exchange by the transport's latency state:
+
+- *Synchronous* (no modeled latency, or inside a forced-inline section):
+  within-step delivery means "no ack came back" is known immediately, so
+  the retries happen in back-to-back sub-step rounds (see
+  :mod:`repro.faults.policy`).  This is the historical, bit-identical
+  behavior.
+- *Deferred* (nonzero modeled latency): each attempt rides the
+  transport's envelope pipeline, the ack rides it back, and a real
+  retransmit timer -- armed to the latency model's worst-case round trip
+  -- re-sends from :meth:`ReliabilityLayer.advance` during the delivery
+  phase until the ack lands or the attempt budget drains.  The sender
+  learns the outcome asynchronously (clients through
+  ``_note_uplink_outcome``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.messages import Ack
@@ -32,7 +44,28 @@ from repro.faults.injector import FaultInjector
 from repro.mobility.model import ObjectId
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.transport import SimulatedTransport
+    from repro.core.transport import Envelope, SimulatedTransport
+
+
+@dataclass(slots=True)
+class _Exchange:
+    """State of one in-flight deferred reliable exchange."""
+
+    token: int
+    kind: str  # "uplink" (object -> server) or "downlink" (server -> object)
+    message: object
+    name: str
+    bits: int
+    oid: ObjectId  # uplink: the sender; downlink: the receiver
+    seq: int
+    ack: Ack = field(init=False)
+    attempts: int = 0
+    delivered: bool = False
+    acked: bool = False
+    deadline: int = 0
+
+    def __post_init__(self) -> None:
+        self.ack = Ack(oid=self.oid, seq=self.seq)
 
 
 class ReliabilityLayer:
@@ -52,11 +85,27 @@ class ReliabilityLayer:
         # a private gap-free sequence stream.  The monolith's endpoint is
         # always 0, collapsing this to the old per-sender stream.
         self._uplink_seq: dict[tuple[ObjectId, int], int] = {}
+        # Deferred exchanges awaiting an ack, keyed by a monotonic token
+        # (sorted iteration keeps the retransmit timers deterministic).
+        self._pending: dict[int, _Exchange] = {}
+        self._next_token = 0
+
+    def _rto_steps(self) -> int:
+        """Retransmit timeout: the latency model's worst-case round trip."""
+        latency = self.transport.latency
+        if latency is None:
+            return 1
+        return max(1, latency.worst_case_rtt_steps)
 
     # ------------------------------------------------------------- uplink
 
-    def reliable_uplink(self, message: object) -> bool:
-        """Deliver an object -> server message with retries; True if acked."""
+    def reliable_uplink(self, message: object) -> bool | None:
+        """Deliver an object -> server message with retries.
+
+        Synchronous mode returns whether the exchange was acked; deferred
+        mode returns ``None`` (outcome pending) and reports the fate to
+        the sending client when it is known.
+        """
         transport = self.transport
         sender = getattr(message, "oid", None)
         bits = message.bits  # type: ignore[attr-defined]
@@ -64,6 +113,10 @@ class ReliabilityLayer:
         stream = (sender, transport.uplink_endpoint(message))
         seq = self._uplink_seq.get(stream, 0) + 1
         self._uplink_seq[stream] = seq
+        if transport.latency_active:
+            exchange = self._open_exchange("uplink", message, name, bits, sender, seq)
+            self._transmit(exchange)
+            return None
         ack = Ack(oid=sender, seq=seq)
         delivered = False
         for attempt in range(self.policy.max_attempts):
@@ -89,8 +142,12 @@ class ReliabilityLayer:
 
     # ------------------------------------------------------------ downlink
 
-    def reliable_send(self, oid: ObjectId, message: object) -> bool:
-        """Deliver a server -> object message with retries; True if acked."""
+    def reliable_send(self, oid: ObjectId, message: object) -> bool | None:
+        """Deliver a server -> object message with retries.
+
+        Synchronous mode returns whether the exchange was acked; deferred
+        mode returns ``None`` while the exchange is in flight.
+        """
         transport = self.transport
         bits = message.bits  # type: ignore[attr-defined]
         name = type(message).__name__
@@ -102,6 +159,10 @@ class ReliabilityLayer:
             self.failures += 1
             return False
         seq = transport.next_downlink_seq(oid)
+        if transport.latency_active:
+            exchange = self._open_exchange("downlink", message, name, bits, oid, seq)
+            self._transmit(exchange)
+            return None
         ack = Ack(oid=oid, seq=seq)
         delivered = False
         for attempt in range(self.policy.max_attempts):
@@ -128,6 +189,157 @@ class ReliabilityLayer:
         self.failures += 1
         return False
 
+    # ----------------------------------------------------- deferred mode
+
+    def _open_exchange(
+        self, kind: str, message: object, name: str, bits: int, oid: ObjectId, seq: int
+    ) -> _Exchange:
+        self._next_token += 1
+        exchange = _Exchange(
+            token=self._next_token, kind=kind, message=message, name=name, bits=bits,
+            oid=oid, seq=seq,
+        )
+        self._pending[exchange.token] = exchange
+        return exchange
+
+    def _transmit(self, exchange: _Exchange) -> None:
+        """Put one attempt on the wire: charge it, roll loss, enqueue."""
+        transport = self.transport
+        exchange.attempts += 1
+        exchange.deadline = transport.step + self._rto_steps()
+        if exchange.kind == "uplink":
+            transport.ledger.record_uplink(exchange.name, exchange.bits, sender=exchange.oid)
+            if transport.trace is not None:
+                transport.trace.record(
+                    transport.step, "uplink", type=exchange.name, oid=exchange.oid
+                )
+            if self.injector.drop_uplink(exchange.message):
+                return  # lost in transit; the retransmit timer covers it
+            delay = transport._uplink_delay()
+            if delay <= 0:
+                self._arrive_at_server(exchange)
+            else:
+                transport._enqueue(
+                    "rel-uplink", exchange.message, exchange.oid, delay, context=exchange
+                )
+        else:
+            transport.ledger.record_downlink(
+                exchange.name, exchange.bits, receivers=(exchange.oid,), broadcasts=1
+            )
+            if transport.trace is not None:
+                transport.trace.record(
+                    transport.step, "send", type=exchange.name, oid=exchange.oid
+                )
+            if self.injector.drop_delivery(exchange.message, receiver=exchange.oid):
+                return
+            delay = transport._downlink_delay()
+            if delay <= 0:
+                self._arrive_at_client(exchange)
+            else:
+                from repro.core.transport import SERVER_SENDER
+
+                transport._enqueue(
+                    "rel-downlink", exchange.message, SERVER_SENDER, delay, context=exchange
+                )
+
+    def open_envelope(self, envelope: "Envelope") -> None:
+        """Dispatch a due reliability envelope from the delivery phase."""
+        exchange = envelope.context
+        kind = envelope.kind
+        if kind == "rel-uplink":
+            self._arrive_at_server(exchange)
+        elif kind == "rel-downlink":
+            self._arrive_at_client(exchange)
+        elif kind == "rel-ack":
+            self._ack_arrived(exchange)
+        else:  # pragma: no cover - enqueue kinds are closed
+            raise ValueError(f"unexpected reliability envelope kind {kind!r}")
+
+    def _arrive_at_server(self, exchange: _Exchange) -> None:
+        """One copy of a reliable uplink reaches the server; ack back."""
+        transport = self.transport
+        if exchange.delivered:
+            self.duplicates_suppressed += 1
+        else:
+            exchange.delivered = True
+            transport._server.on_uplink(exchange.message)
+        transport.ledger.record_downlink(
+            "Ack", exchange.ack.bits, receivers=(exchange.oid,), broadcasts=1
+        )
+        self.acks_sent += 1
+        if self.injector.drop_delivery(exchange.ack, receiver=exchange.oid):
+            self.ack_drops += 1
+            return
+        delay = transport._downlink_delay()
+        if delay <= 0:
+            self._ack_arrived(exchange)
+        else:
+            from repro.core.transport import SERVER_SENDER
+
+            transport._enqueue(
+                "rel-ack", exchange.ack, SERVER_SENDER, delay, context=exchange
+            )
+
+    def _arrive_at_client(self, exchange: _Exchange) -> None:
+        """One copy of a reliable downlink reaches the receiver; ack back."""
+        transport = self.transport
+        client = transport._clients.get(exchange.oid)
+        if client is None:
+            return  # radio detached mid-flight; the timer will drain retries
+        if exchange.delivered:
+            self.duplicates_suppressed += 1
+        else:
+            exchange.delivered = True
+            observe = getattr(client, "observe_downlink_seq", None)
+            if observe is not None:
+                observe(exchange.seq)
+            client.on_downlink(exchange.message)
+        transport.ledger.record_uplink("Ack", exchange.ack.bits, sender=exchange.oid)
+        self.acks_sent += 1
+        if self.injector.drop_uplink(exchange.ack):
+            self.ack_drops += 1
+            return
+        delay = transport._uplink_delay()
+        if delay <= 0:
+            self._ack_arrived(exchange)
+        else:
+            transport._enqueue("rel-ack", exchange.ack, exchange.oid, delay, context=exchange)
+
+    def _ack_arrived(self, exchange: _Exchange) -> None:
+        """The sender sees the ack: the exchange completes successfully."""
+        if exchange.acked:
+            return
+        exchange.acked = True
+        self._pending.pop(exchange.token, None)
+        if exchange.kind == "uplink":
+            self._notify_uplink_sender(exchange, True)
+
+    def _notify_uplink_sender(self, exchange: _Exchange, acked: bool) -> None:
+        client = self.transport._clients.get(exchange.oid)
+        if client is None:
+            return
+        note = getattr(client, "_note_uplink_outcome", None)
+        if note is not None:
+            note(acked)
+
+    def advance(self, step: int) -> None:
+        """Fire due retransmit timers (called from the delivery phase,
+        after the step's envelopes have drained)."""
+        if not self._pending:
+            return
+        for token in sorted(self._pending):
+            exchange = self._pending.get(token)
+            if exchange is None or step < exchange.deadline:
+                continue
+            if exchange.attempts >= self.policy.max_attempts:
+                del self._pending[token]
+                self.failures += 1
+                if exchange.kind == "uplink":
+                    self._notify_uplink_sender(exchange, False)
+                continue
+            self.retransmissions += 1
+            self._transmit(exchange)
+
     # ---------------------------------------------------------- inspection
 
     def counters(self) -> dict:
@@ -138,4 +350,5 @@ class ReliabilityLayer:
             "ack_drops": self.ack_drops,
             "failures": self.failures,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "pending": len(self._pending),
         }

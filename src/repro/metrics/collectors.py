@@ -37,11 +37,29 @@ class StepStats:
     skipped_by_grouping: int = 0
     object_processing_seconds: float = 0.0
     result_error: float | None = None
+    # Provenance of ``result_error``: the step its sample was actually
+    # taken at.  Accuracy is sampled on evaluation steps and carried
+    # forward in between, so without this field a pre-delivery error
+    # could masquerade as current.  ``None`` means "unknown" (hand-built
+    # records): treated as fresh for backward compatibility.
+    result_error_step: int | None = None
+    # Deferred-delivery pipeline: envelopes still in flight at the end of
+    # the step, envelopes opened during the step, and their summed
+    # send-to-delivery delay in steps.  All zero on the inline path.
+    inflight_messages: int = 0
+    delivered_messages: int = 0
+    delivery_delay_steps: int = 0
 
     @property
     def total_messages(self) -> int:
         """Uplink plus downlink messages this step."""
         return self.uplink_messages + self.downlink_messages
+
+    @property
+    def result_error_is_fresh(self) -> bool:
+        """Whether ``result_error`` was sampled this very step (a carried-
+        forward sample from an earlier evaluation step is stale)."""
+        return self.result_error_step is None or self.result_error_step == self.step
 
 
 @dataclass
@@ -130,11 +148,42 @@ class MetricsLog:
         """Evaluations skipped by safe periods in the window."""
         return sum(s.skipped_by_safe_period for s in self._require_steps())
 
+    # ------------------------------------------------------- in-flight
+
+    def mean_inflight_messages(self) -> float:
+        """Mean pipeline depth: envelopes in flight at the end of a step."""
+        measured = self._require_steps()
+        return sum(s.inflight_messages for s in measured) / len(measured)
+
+    def max_inflight_messages(self) -> int:
+        """Peak pipeline depth over the measured window."""
+        return max((s.inflight_messages for s in self._require_steps()), default=0)
+
+    def mean_delivery_delay_steps(self) -> float | None:
+        """Mean send-to-delivery delay of deferred envelopes, in steps
+        (weighted by deliveries; ``None`` when nothing was deferred)."""
+        measured = self._require_steps()
+        delivered = sum(s.delivered_messages for s in measured)
+        if delivered == 0:
+            return None
+        return sum(s.delivery_delay_steps for s in measured) / delivered
+
     # ----------------------------------------------------------- accuracy
 
     def mean_result_error(self) -> float | None:
-        """Mean missing-fraction error, or None without samples."""
-        samples = [s.result_error for s in self._measured() if s.result_error is not None]
+        """Mean missing-fraction error over *fresh* samples, or None.
+
+        Only steps whose sample was taken that very step count
+        (``result_error_is_fresh``); a carried-forward sample -- taken
+        before later deliveries landed -- is never reported as current.
+        Records without provenance (``result_error_step`` unset) keep the
+        historical behavior and count as fresh.
+        """
+        samples = [
+            s.result_error
+            for s in self._measured()
+            if s.result_error is not None and s.result_error_is_fresh
+        ]
         if not samples:
             return None
         return sum(samples) / len(samples)

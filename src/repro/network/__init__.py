@@ -1,6 +1,7 @@
 """Wireless network substrate: base stations, messaging, radio energy."""
 
 from repro.network.basestation import BaseStation, BaseStationId, BaseStationLayout
+from repro.network.latency import LatencyModel
 from repro.network.loss import LossModel, is_reliable
 from repro.network.messaging import LedgerSnapshot, MessageLedger
 from repro.network.radio import RadioModel
@@ -9,6 +10,7 @@ __all__ = [
     "BaseStation",
     "BaseStationId",
     "BaseStationLayout",
+    "LatencyModel",
     "LedgerSnapshot",
     "LossModel",
     "MessageLedger",

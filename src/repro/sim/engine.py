@@ -8,10 +8,15 @@ baselines register the same phase skeleton:
    pick new random velocity vectors (the paper's ``nmo`` parameter).
 2. ``reporting`` -- objects talk to the server (dead-reckoning reports, grid
    cell change notifications, or raw position reports for the baselines).
-3. ``server`` -- the server processes the step (mediation or index work).
-4. ``evaluation`` -- query results are (re)computed, either object-side
+3. ``delivery`` -- the transport drains the deferred-message queue: every
+   envelope whose modeled latency has elapsed is handed to its receiver in
+   deterministic ``(deliver_step, sender, seq)`` order, and the reliability
+   layer's retransmit timers fire.  Empty (and free) when no latency is
+   modeled -- zero-delay hops complete inline at send time.
+4. ``server`` -- the server processes the step (mediation or index work).
+5. ``evaluation`` -- query results are (re)computed, either object-side
    (MobiEyes) or server-side (centralized).
-5. ``measurement`` -- metric collectors sample the step.
+6. ``measurement`` -- metric collectors sample the step.
 
 Phases with the same name run in registration order.  Keeping the phase list
 explicit (rather than an event queue) mirrors the paper's fixed 30-second
@@ -26,7 +31,7 @@ from repro.sim.clock import SimulationClock
 
 PhaseCallback = Callable[[SimulationClock], None]
 
-PHASE_ORDER = ("movement", "reporting", "server", "evaluation", "measurement")
+PHASE_ORDER = ("movement", "reporting", "delivery", "server", "evaluation", "measurement")
 
 
 class SimulationEngine:

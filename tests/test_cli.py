@@ -69,13 +69,37 @@ class TestBench:
 
         calls = {}
 
-        def fake_run_bench(tag=None, smoke=False, out_dir=None, log=print, shards=1):
-            calls.update(tag=tag, smoke=smoke, out_dir=out_dir, shards=shards)
+        def fake_run_bench(
+            tag=None,
+            smoke=False,
+            out_dir=None,
+            log=print,
+            shards=1,
+            latency=0,
+            jitter=0,
+            compare=None,
+        ):
+            calls.update(
+                tag=tag, smoke=smoke, out_dir=out_dir, shards=shards,
+                latency=latency, jitter=jitter, compare=compare,
+            )
             return tmp_path / "BENCH_x.json"
 
         monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
-        assert main(["bench", "--smoke", "--tag", "x", "--shards", "4"]) == 0
-        assert calls == {"tag": "x", "smoke": True, "out_dir": None, "shards": 4}
+        assert main(["bench", "--smoke", "--tag", "x", "--shards", "4", "--latency", "2"]) == 0
+        assert calls == {
+            "tag": "x", "smoke": True, "out_dir": None, "shards": 4,
+            "latency": 2, "jitter": 0, "compare": None,
+        }
+
+    def test_regression_gate_exit_code(self, monkeypatch, tmp_path):
+        import repro.fastpath.bench as bench_mod
+
+        def failing_run_bench(**kwargs):
+            raise bench_mod.BenchRegression("dense/reference: 50.0 < 80% of 100.0")
+
+        monkeypatch.setattr(bench_mod, "run_bench", failing_run_bench)
+        assert main(["bench", "--smoke", "--compare", "BENCH_old.json"]) == 1
 
 
 class TestParser:

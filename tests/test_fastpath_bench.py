@@ -33,6 +33,7 @@ def test_artifact_shape(smoke_artifact):
         assert set(ref["phase_seconds"]) == {
             "movement",
             "reporting",
+            "delivery",
             "server",
             "evaluation",
             "measurement",
