@@ -323,7 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         default=None,
         help="previous BENCH_*.json to regression-gate against: exit 1 if any "
-        "matched scenario/engine loses more than 20%% of its steps/sec",
+        "matched scenario/engine loses more than 20%% of its steps/sec, any "
+        "phase regresses more than 25%%, or result hashes / message counts "
+        "drift from the baseline",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -121,7 +121,9 @@ class MobiEyesClient:
         self.has_mq = False
         self.last_cell = grid.cell_index(obj.pos)
         # The motion state other parties believe this object to have; only
-        # meaningful while the object is focal.
+        # meaningful while the object is focal.  The vectorized runtime may
+        # register a watcher to mirror it into its dead-reckoning columns.
+        self._relayed_watcher = None
         self._relayed_state = obj.snapshot()
         self.stats = ClientStats()
         # Fault-handling state; the system wires `focal_registry` (the
@@ -162,29 +164,50 @@ class MobiEyesClient:
         self.last_cell = new_cell
         # Drop queries whose monitoring region no longer covers this cell;
         # leaving a monitoring region while being a target is reported so
-        # the server-side result stays clean.
-        leave_changes: dict[QueryId, bool] = {}
-        for entry in self.lqt.entries():
-            if not entry.mon_region.contains(new_cell):
-                self.lqt.remove(entry.qid)
-                if entry.is_target:
-                    leave_changes[entry.qid] = False
-        if leave_changes:
-            self._send_result_changes(leave_changes)
+        # the server-side result stays clean.  The LQT hull (intersection
+        # of every region's bounds) makes the common case O(1): while the
+        # new cell is inside the hull, no entry can have been left.
+        if not self.lqt.hull_contains(new_cell):
+            leave_changes: dict[QueryId, bool] = {}
+            for entry in self.lqt.entries():
+                if not entry.mon_region.contains(new_cell):
+                    self.lqt.remove(entry.qid)
+                    if entry.is_target:
+                        leave_changes[entry.qid] = False
+            self.lqt.recompute_hull()
+            if leave_changes:
+                self._send_result_changes(leave_changes)
         # Under lazy propagation only focal objects report cell changes.
         if self.config.propagation.is_lazy and not self.has_mq:
             return
         state = self.obj.snapshot() if self.has_mq else None
         if state is not None:
-            self._relayed_state = state
+            self._set_relayed(state)
+        buf = self.transport.report_buffer
+        if buf is not None and buf.depth:
+            self.stats.uplinks_sent += 1
+            buf.add_cell(self.oid, prev_cell, new_cell, state)
+            return
         self._uplink(
             CellChangeReport(oid=self.oid, prev_cell=prev_cell, new_cell=new_cell, state=state)
         )
 
     def _relay_motion_state(self, now: float) -> None:
         state = self.obj.snapshot()
-        self._relayed_state = state
+        self._set_relayed(state)
+        buf = self.transport.report_buffer
+        if buf is not None and buf.depth:
+            self.stats.uplinks_sent += 1
+            buf.add_velocity(self.oid, state)
+            return
         self._uplink(VelocityChangeReport(oid=self.oid, state=state))
+
+    def _set_relayed(self, state) -> None:
+        """Update the relayed motion state, mirroring it to any watcher."""
+        self._relayed_state = state
+        watcher = self._relayed_watcher
+        if watcher is not None:
+            watcher(self.oid, state)
 
     # -------------------------------------------------- evaluation phase
 
@@ -306,6 +329,14 @@ class MobiEyesClient:
         return moved.contains(self.obj.pos)
 
     def _send_result_changes(self, changes: dict[QueryId, bool]) -> None:
+        buf = self.transport.report_buffer
+        if buf is not None and buf.depth:
+            # Open report window: append to the columnar buffer (flushed by
+            # the transport when the window closes) instead of allocating a
+            # dataclass.  The buffer copies the flags out immediately.
+            self.stats.uplinks_sent += 1
+            buf.add_result(self.oid, changes, self._report_epoch)
+            return
         self._uplink(
             ResultChangeReport(
                 oid=self.oid, changes=dict(changes), epoch=self._report_epoch
@@ -375,7 +406,7 @@ class MobiEyesClient:
         """
         self._suspect = False
         state = self.obj.snapshot()
-        self._relayed_state = state
+        self._set_relayed(state)
         self._uplink(
             ResyncRequest(
                 oid=self.oid, cell=self.last_cell, state=state, max_speed=self.obj.max_speed
@@ -442,7 +473,7 @@ class MobiEyesClient:
         elif isinstance(message, MotionStateRequest):
             if message.oid == self.oid:
                 state = self.obj.snapshot()
-                self._relayed_state = state
+                self._set_relayed(state)
                 self._uplink(
                     MotionStateResponse(oid=self.oid, state=state, max_speed=self.obj.max_speed)
                 )
@@ -470,6 +501,7 @@ class MobiEyesClient:
                 existing.focal_max_speed = desc.focal_max_speed
                 existing.mon_region = desc.mon_region
                 existing.ptm = 0.0  # focal moved: the safe period is void
+                self.lqt.tighten_hull(desc.mon_region)
                 self.lqt.notify_state(existing)
             elif desc.filter.matches(self.obj.props):
                 self.lqt.install(LqtEntry.from_descriptor(desc))

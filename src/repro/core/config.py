@@ -58,6 +58,14 @@ class MobiEyesConfig:
             ``[0, latency_jitter_steps]`` added to every hop.
         latency_seed: seed of the jitter stream (ignored while the jitter
             span is zero).
+        batch_reports: run the high-volume uplink reports (result, cell,
+            velocity changes) through the columnar batched pipeline
+            (:mod:`repro.core.reporting`): clients append records to a
+            shared struct-of-arrays buffer flushed once per window instead
+            of allocating one dataclass and one envelope per report.
+            Result hashes, message counts, sizes, and energy accounting
+            are bit-identical either way; ``False`` forces the historical
+            per-message path.
     """
 
     uod: Rect
@@ -77,6 +85,7 @@ class MobiEyesConfig:
     downlink_latency_steps: int = 0
     latency_jitter_steps: int = 0
     latency_seed: int = 0
+    batch_reports: bool = True
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:

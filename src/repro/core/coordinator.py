@@ -39,6 +39,8 @@ from typing import Callable, Iterator
 from repro.core.config import MobiEyesConfig
 from repro.core.focal import FocalTracker
 from repro.core.messages import (
+    REC_CELL,
+    REC_RESULT,
     CellChangeReport,
     MotionStateRequest,
     ResultChangeReport,
@@ -173,6 +175,37 @@ class Coordinator:
                 if home is not None and home != endpoint:
                     self.shards[home]._touch_lease(message)
         self.shards[endpoint].on_uplink(message)
+
+    def apply_report_record(self, cols: object, i: int) -> None:
+        """Route record ``i`` of a columnar report batch to its shard.
+
+        Mirrors :meth:`shard_for_uplink` kind by kind -- cell changes go
+        to the new cell's owner, result changes to the sender's current
+        cell, velocity changes to the sender's home directory -- and keeps
+        the lease-touch-home guarantee for records routed away from the
+        sender's home shard.
+        """
+        kind = cols.kind[i]  # type: ignore[attr-defined]
+        oid = cols.oid[i]  # type: ignore[attr-defined]
+        if kind == REC_CELL:
+            endpoint = self.partitioner.shard_of_cell(
+                (cols.new_i[i], cols.new_j[i])  # type: ignore[attr-defined]
+            )
+        elif kind == REC_RESULT:
+            endpoint = self.partitioner.shard_of_cell(self.transport.sender_cell(oid))
+        else:
+            home = self._home_of(oid)
+            if home is not None:
+                endpoint = home
+            else:
+                endpoint = self.partitioner.shard_of_cell(self.transport.sender_cell(oid))
+        if self._leases_on:
+            home = self._home_of(oid)
+            if home is not None and home != endpoint:
+                self.shards[home]._touch_lease_rec(
+                    oid, cols.state[i], None  # type: ignore[attr-defined]
+                )
+        self.shards[endpoint].apply_report_record(cols, i)
 
     # ---------------------------------------------------- focal handoff
 

@@ -53,6 +53,42 @@ BITS_MOTION_STATE = 4 * BITS_COORD + BITS_TIME  # pos + vel + timestamp
 BITS_CELL_RANGE = 2 * BITS_CELL  # (lo_i, lo_j) .. (hi_i, hi_j)
 
 
+# Per-record wire sizes of the three high-volume report kinds.  The batched
+# columnar path (``UplinkReportBatch``) charges the ledger record by record
+# with these, so batching never changes a byte of the size accounting.
+
+
+def velocity_change_bits() -> int:
+    """Wire size of one velocity-change record in bits."""
+    return BITS_HEADER + BITS_OID + BITS_MOTION_STATE
+
+
+def cell_change_bits(has_state: bool) -> int:
+    """Wire size of one cell-change record in bits."""
+    bits = BITS_HEADER + BITS_OID + 2 * BITS_CELL
+    if has_state:
+        bits += BITS_MOTION_STATE
+    return bits
+
+
+def result_change_bits(n_changes: int) -> int:
+    """Wire size of one result-change record carrying ``n_changes`` flags."""
+    n = max(1, n_changes)
+    bitmap_bits = ((n + 7) // 8) * 8
+    return BITS_HEADER + BITS_OID + BITS_QID + bitmap_bits
+
+
+# Record kinds of the columnar report pipeline (ReportBuffer /
+# UplinkReportBatch column ``kind``).
+REC_RESULT = 0
+REC_CELL = 1
+REC_VELOCITY = 2
+
+# Ledger type names per record kind: a batched record is charged under the
+# same name the equivalent dataclass message would have been.
+REC_KIND_NAMES = ("ResultChangeReport", "CellChangeReport", "VelocityChangeReport")
+
+
 @dataclass(frozen=True, slots=True)
 class QueryDescriptor:
     """The per-query payload shipped inside install/update broadcasts.
@@ -100,7 +136,7 @@ class VelocityChangeReport:
     @property
     def bits(self) -> int:
         """Wire size of this message in bits."""
-        return BITS_HEADER + BITS_OID + BITS_MOTION_STATE
+        return velocity_change_bits()
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,10 +157,7 @@ class CellChangeReport:
     @property
     def bits(self) -> int:
         """Wire size of this message in bits."""
-        bits = BITS_HEADER + BITS_OID + 2 * BITS_CELL
-        if self.state is not None:
-            bits += BITS_MOTION_STATE
-        return bits
+        return cell_change_bits(self.state is not None)
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,9 +188,7 @@ class ResultChangeReport:
         # One qid identifies the group (or the query); the remaining
         # queries of a group cost one bitmap bit each, rounded up to bytes.
         """Wire size of this message in bits."""
-        n = max(1, len(self.changes))
-        bitmap_bits = ((n + 7) // 8) * 8
-        return BITS_HEADER + BITS_OID + BITS_QID + bitmap_bits
+        return result_change_bits(len(self.changes))
 
 
 @dataclass(frozen=True, slots=True)
@@ -215,6 +246,78 @@ class ResyncRequest:
     def bits(self) -> int:
         """Wire size of this message in bits."""
         return BITS_HEADER + BITS_OID + BITS_CELL + BITS_MOTION_STATE + BITS_COORD
+
+
+class UplinkReportBatch:
+    """One envelope's worth of batched report records, struct-of-arrays.
+
+    The columnar report pipeline groups the high-volume uplink reports
+    (:class:`ResultChangeReport`, :class:`CellChangeReport`,
+    :class:`VelocityChangeReport`) flushed in one step by (delivery step,
+    sender cell) and ships each group as a single envelope carrying these
+    parallel columns instead of N dataclasses.  Per-record semantics are
+    unchanged: every record keeps its own sender oid (the ``oid`` column)
+    and transport sequence number (``seq``), the ledger is charged record
+    by record with the exact per-record sizes (:meth:`bits_of`), and the
+    receiving server applies records through the same column layout the
+    client-side :class:`~repro.core.reporting.ReportBuffer` accumulates.
+
+    Result-change flags are flattened: record ``i`` owns the slice
+    ``qid_flat[qid_lo[i]:qid_hi[i]]`` / ``flag_flat[...]``.
+    """
+
+    reliable: ClassVar[bool] = False
+
+    __slots__ = (
+        "kind",
+        "oid",
+        "epoch",
+        "prev_i",
+        "prev_j",
+        "new_i",
+        "new_j",
+        "state",
+        "qid_lo",
+        "qid_hi",
+        "qid_flat",
+        "flag_flat",
+        "seq",
+    )
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.oid: list[ObjectId] = []
+        self.epoch: list[int] = []
+        self.prev_i: list[int] = []
+        self.prev_j: list[int] = []
+        self.new_i: list[int] = []
+        self.new_j: list[int] = []
+        self.state: list[MotionState | None] = []
+        self.qid_lo: list[int] = []
+        self.qid_hi: list[int] = []
+        self.qid_flat: list[QueryId] = []
+        self.flag_flat: list[bool] = []
+        self.seq: list[int] = []
+
+    @property
+    def count(self) -> int:
+        """Number of report records carried by this batch."""
+        return len(self.kind)
+
+    def bits_of(self, i: int) -> int:
+        """Wire size of record ``i`` -- identical to the bits the
+        equivalent per-record dataclass message would report."""
+        kind = self.kind[i]
+        if kind == REC_RESULT:
+            return result_change_bits(self.qid_hi[i] - self.qid_lo[i])
+        if kind == REC_CELL:
+            return cell_change_bits(self.state[i] is not None)
+        return velocity_change_bits()
+
+    @property
+    def bits(self) -> int:
+        """Wire size of the whole batch: the sum of its records' sizes."""
+        return sum(self.bits_of(i) for i in range(len(self.kind)))
 
 
 # ---------------------------------------------------------------- downlink

@@ -28,7 +28,7 @@ them to reach across the partition.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 ResultCallback = Callable[["QueryId", "ObjectId", bool], None]
 
@@ -37,6 +37,8 @@ from repro.core.config import MobiEyesConfig
 from repro.core.focal import FocalTracker
 from repro.core.load import LoadAccount
 from repro.core.messages import (
+    REC_CELL,
+    REC_RESULT,
     CellChangeReport,
     FocalRoleNotification,
     Heartbeat,
@@ -56,7 +58,7 @@ from repro.core.query import MovingQuery, QueryId, QuerySpec
 from repro.core.registry import QueryRegistry
 from repro.core.tables import FotEntry, SqtEntry
 from repro.core.transport import SimulatedTransport
-from repro.grid import CellIndex, CellRange, Grid, monitoring_region
+from repro.grid import CellIndex, CellRange, CellRangeUnion, Grid, monitoring_region
 from repro.mobility.model import MotionState, ObjectId
 
 
@@ -139,6 +141,12 @@ class MobiEyesServer:
     def _queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
         """Query ids registered at a grid cell (the cell owner's RQI)."""
         return self.registry.queries_at(cell)
+
+    def _fresh_queries_at(self, prev_cell: CellIndex, new_cell: CellIndex) -> list[QueryId]:
+        """Ids registered at ``new_cell`` but not ``prev_cell``, ascending.
+        Both cells resolve locally here; a shard routes either through its
+        coordinator when a foreign stripe owns it."""
+        return self.registry.rqi.fresh_ids_between(prev_cell, new_cell)
 
     def _entry_of(self, qid: QueryId) -> SqtEntry:
         """The SQT entry of a query id found in some RQI cell."""
@@ -284,6 +292,39 @@ class MobiEyesServer:
         else:
             raise TypeError(f"unexpected uplink message {type(message).__name__}")
 
+    def apply_report_record(self, cols: object, i: int) -> None:
+        """Apply record ``i`` of a columnar report batch.
+
+        ``cols`` is anything exposing the :class:`~repro.core.reporting.
+        ReportBuffer` column layout (the buffer itself on the inline flush
+        path, an :class:`~repro.core.messages.UplinkReportBatch` when the
+        record arrived in a deferred envelope).  Semantically identical to
+        :meth:`on_uplink` with the equivalent per-record dataclass, but
+        without constructing it.
+        """
+        kind = cols.kind[i]  # type: ignore[attr-defined]
+        oid = cols.oid[i]  # type: ignore[attr-defined]
+        state = cols.state[i]  # type: ignore[attr-defined]
+        if self.tracker.leases_enabled:
+            self._touch_lease_rec(oid, state, None)
+        if kind == REC_RESULT:
+            lo = cols.qid_lo[i]  # type: ignore[attr-defined]
+            hi = cols.qid_hi[i]  # type: ignore[attr-defined]
+            self._apply_result_record(
+                oid,
+                cols.epoch[i],  # type: ignore[attr-defined]
+                zip(cols.qid_flat[lo:hi], cols.flag_flat[lo:hi]),  # type: ignore[attr-defined]
+            )
+        elif kind == REC_CELL:
+            self._on_cell_change_rec(
+                oid,
+                (cols.prev_i[i], cols.prev_j[i]),  # type: ignore[attr-defined]
+                (cols.new_i[i], cols.new_j[i]),  # type: ignore[attr-defined]
+                state,
+            )
+        else:
+            self._on_velocity_change_rec(oid, state)
+
     # ------------------------------------------------- soft-state leases
 
     def enable_leases(self, lease_steps: int) -> None:
@@ -297,12 +338,19 @@ class MobiEyesServer:
         oid = getattr(message, "oid", None)
         if oid is None:
             return
+        self._touch_lease_rec(
+            oid, getattr(message, "state", None), getattr(message, "max_speed", None)
+        )
+
+    def _touch_lease_rec(
+        self, oid: ObjectId, state: MotionState | None, max_speed: float | None
+    ) -> None:
+        """Record-level lease touch (shared by message and batch paths)."""
         self.tracker.touch(oid, self.transport.step)
         if not self.tracker.is_suspended(oid):
             return
-        state = getattr(message, "state", None)
         if state is not None:
-            self._reinstate(oid, state, getattr(message, "max_speed", None))
+            self._reinstate(oid, state, max_speed)
         else:
             # A stateless sign of life (heartbeat, result report): probe for
             # fresh motion state; the response re-enters on_uplink and
@@ -419,11 +467,14 @@ class MobiEyesServer:
 
     def _on_velocity_change(self, message: VelocityChangeReport) -> None:
         """Relay a focal object's significant velocity change (Section 3.4)."""
+        self._on_velocity_change_rec(message.oid, message.state)
+
+    def _on_velocity_change_rec(self, oid: ObjectId, state: MotionState) -> None:
         with self.load.timed():
-            if message.oid not in self.tracker:
+            if oid not in self.tracker:
                 return  # stale report from an object that lost its focal role
-            self.tracker.update_state(message.oid, message.state)
-            queries = self.registry.queries_of_focal(message.oid)
+            self.tracker.update_state(oid, state)
+            queries = self.registry.queries_of_focal(oid)
             groups = self.planner.groups(queries)
             self.load.ops += 1 + len(queries)
         lazy = self.config.propagation.is_lazy
@@ -432,8 +483,8 @@ class MobiEyesServer:
             self.planner.send(
                 mon_region,
                 VelocityChangeBroadcast(
-                    oid=message.oid,
-                    state=message.state,
+                    oid=oid,
+                    state=state,
                     qids=tuple(e.qid for e in group),
                     descriptors=descriptors,
                 ),
@@ -441,20 +492,31 @@ class MobiEyesServer:
 
     def _on_cell_change(self, message: CellChangeReport) -> None:
         """Handle an object that crossed into a new grid cell (Section 3.5)."""
-        self._acquire_focal(message.oid)
+        self._on_cell_change_rec(
+            message.oid, message.prev_cell, message.new_cell, message.state
+        )
+
+    def _on_cell_change_rec(
+        self,
+        oid: ObjectId,
+        prev_cell: CellIndex,
+        new_cell: CellIndex,
+        state: MotionState | None,
+    ) -> None:
+        self._acquire_focal(oid)
         with self.load.timed():
-            if message.state is not None and message.oid in self.tracker:
-                self.tracker.update_state(message.oid, message.state)
-            new_queries = self._new_queries_for(message.oid, message.prev_cell, message.new_cell)
+            if state is not None and oid in self.tracker:
+                self.tracker.update_state(oid, state)
+            new_queries = self._new_queries_for(oid, prev_cell, new_cell)
             focal_updates: list[tuple[object, list[SqtEntry]]] = []
-            if self.registry.is_focal(message.oid):
-                focal_updates = self._refresh_focal_regions(message.oid, message.new_cell)
+            if self.registry.is_focal(oid):
+                focal_updates = self._refresh_focal_regions(oid, new_cell)
 
         if new_queries:
             self.transport.send(
-                message.oid,
+                oid,
                 QueryInstallList(
-                    oid=message.oid,
+                    oid=oid,
                     queries=tuple(self._descriptor(e) for e in new_queries),
                 ),
             )
@@ -468,23 +530,26 @@ class MobiEyesServer:
         self, oid: ObjectId, prev_cell: CellIndex, new_cell: CellIndex
     ) -> list[SqtEntry]:
         """Queries newly covering the object's cell (RQI difference)."""
-        previous = self._queries_at(prev_cell)
-        fresh = self._queries_at(new_cell) - previous
+        fresh = self._fresh_queries_at(prev_cell, new_cell)
         self.load.ops += 1
         # The object never monitors its own queries (it is their focal).
-        return [self._entry_of(qid) for qid in sorted(fresh) if self._entry_of(qid).oid != oid]
+        return [self._entry_of(qid) for qid in fresh if self._entry_of(qid).oid != oid]
 
     def _refresh_focal_regions(
         self, oid: ObjectId, new_cell: CellIndex
-    ) -> list[tuple[set[CellIndex], list[SqtEntry]]]:
+    ) -> list[tuple[CellRange | CellRangeUnion | set[CellIndex], list[SqtEntry]]]:
         """Recompute monitoring regions of all queries bound to ``oid``.
 
         Returns, per broadcast group, the union of old and new monitoring
         regions (the paper broadcasts the query's new state to objects in
-        the combined area) and the group's queries.
+        the combined area) and the group's queries.  The union stays in
+        range form (:class:`CellRangeUnion`) when the group shares one
+        ``old | new`` pair -- the common case, since grouped queries share
+        a monitoring region -- which keeps the station-cover memoization
+        keyed on a hashable value and avoids materializing cell sets.
         """
         queries = self.registry.queries_of_focal(oid)
-        combined_by_group: dict[int, set[CellIndex]] = {}
+        combined_by_query: dict[int, CellRange | CellRangeUnion] = {}
         for entry in queries:
             old_region = entry.mon_region
             new_region = monitoring_region(self.grid, new_cell, entry.region)
@@ -492,27 +557,42 @@ class MobiEyesServer:
             entry.mon_region = new_region
             self._rqi_move(entry.qid, old_region, new_region)
             self.load.ops += old_region.cell_count + new_region.cell_count
-            combined_by_group[entry.qid] = set(old_region) | set(new_region)
+            combined_by_query[entry.qid] = (
+                old_region
+                if old_region == new_region
+                else CellRangeUnion(old_region, new_region)
+            )
         groups = self.planner.groups(queries)
-        out: list[tuple[set[CellIndex], list[SqtEntry]]] = []
+        out: list[tuple[CellRange | CellRangeUnion | set[CellIndex], list[SqtEntry]]] = []
         for _mon_region, group in groups:
-            combined: set[CellIndex] = set()
-            for entry in group:
-                combined |= combined_by_group[entry.qid]
-            out.append((combined, group))
+            shapes = {combined_by_query[entry.qid] for entry in group}
+            if len(shapes) == 1:
+                out.append((shapes.pop(), group))
+            else:
+                # Queries grouped together but refreshed from different
+                # region pairs (install raced a crossing): exact set union.
+                cells: set[CellIndex] = set()
+                for shape in shapes:
+                    cells.update(shape)
+                out.append((cells, group))
         return out
 
     def _on_result_change(self, message: ResultChangeReport) -> None:
         """Differentially update query results (Section 3.6)."""
+        self._apply_result_record(message.oid, message.epoch, message.changes.items())
+
+    def _apply_result_record(
+        self, oid: ObjectId, epoch: int, items: "Iterable[tuple[QueryId, bool]]"
+    ) -> None:
         applied: list[tuple[QueryId, bool]] = []
         with self.load.timed():
-            if message.epoch < self._report_epoch(message.oid):
+            if epoch < self._report_epoch(oid):
                 # Sent before this object's last resync purge (only
                 # possible under modeled latency): applying it would
                 # resurrect memberships the purge just erased, and the
                 # rebuilt LQT would never send the compensating removal.
                 return
-            for qid, is_target in message.changes.items():
+            for qid, is_target in items:
                 entry = self._result_entry(qid)
                 if entry is None:
                     continue  # query was removed while the report was in flight
@@ -520,18 +600,18 @@ class MobiEyesServer:
                     continue  # lease-suspended: the report is stale by definition
                 result = entry.result
                 if is_target:
-                    if message.oid not in result:
-                        result.add(message.oid)
+                    if oid not in result:
+                        result.add(oid)
                         applied.append((qid, True))
                 else:
-                    if message.oid in result:
-                        result.discard(message.oid)
+                    if oid in result:
+                        result.discard(oid)
                         applied.append((qid, False))
                 self.load.ops += 1
         # Notify subscribers outside the timed section: the callbacks are
         # application code, not server protocol work.
         for qid, entered in applied:
-            self.registry.notify(qid, message.oid, entered)
+            self.registry.notify(qid, oid, entered)
 
     def subscribe(self, qid: QueryId, callback: "ResultCallback") -> None:
         """Register a callback fired on every differential result change of
@@ -546,8 +626,25 @@ class MobiEyesServer:
     # ------------------------------------------------------------ helpers
 
     def _descriptor(self, entry: SqtEntry) -> "QueryDescriptor":
+        # A descriptor is a pure function of the entry's immutable fields
+        # (qid, oid, region, filter), its monitoring region, and the focal
+        # object's state and max speed.  The cached copy is reused whenever
+        # those inputs are the very objects/values it was built from --
+        # motion states and cell ranges are frozen, so identity implies
+        # equality and the cache can never go stale.
         focal = None if entry.is_static else self._focal_entry(entry.oid)
-        return self.planner.descriptor(entry, focal)
+        cached = entry.desc_cache
+        if cached is not None and cached.mon_region is entry.mon_region:
+            if focal is None:
+                return cached
+            if (
+                cached.focal_state is focal.state
+                and cached.focal_max_speed == focal.max_speed
+            ):
+                return cached
+        desc = self.planner.descriptor(entry, focal)
+        entry.desc_cache = desc
+        return desc
 
     def beacon_static_queries(self) -> int:
         """Re-broadcast every static query's descriptor to its monitoring

@@ -82,6 +82,11 @@ class ServerShard(MobiEyesServer):
             return self.registry.queries_at(cell)
         return self.coordinator.queries_at(cell)
 
+    def _fresh_queries_at(self, prev_cell: CellIndex, new_cell: CellIndex) -> list[QueryId]:
+        # Either cell may live on a foreign stripe; resolve both through
+        # the owner lookup instead of the monolith's direct bucket reads.
+        return sorted(self._queries_at(new_cell) - self._queries_at(prev_cell))
+
     def _entry_of(self, qid: QueryId) -> SqtEntry:
         if qid in self.registry:
             return self.registry.get(qid)

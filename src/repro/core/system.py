@@ -74,6 +74,13 @@ class MobiEyesSystem:
         self.transport = SimulatedTransport(
             self.layout, self.grid, self.ledger, trace=trace, loss=loss
         )
+        if config.batch_reports:
+            from repro.core.reporting import ReportBuffer
+
+            # Columnar report pipeline: clients append the high-volume
+            # uplink reports to this buffer while a phase window is open;
+            # the transport flushes it with identical per-record accounting.
+            self.transport.report_buffer = ReportBuffer()
         # Per-link delivery latency: an explicit model wins; otherwise the
         # config's knobs (all-zero means no model -- the inline fast path).
         self.latency = latency if latency is not None else LatencyModel.from_config(config)
@@ -243,8 +250,23 @@ class MobiEyesSystem:
         if self._fastpath is not None:
             self._fastpath.reporting_phase(clock)
         else:
-            for oid in self._client_order:
-                self.clients[oid].report_phase(clock)
+            buf = self.transport.report_buffer
+            if buf is None:
+                for oid in self._client_order:
+                    self.clients[oid].report_phase(clock)
+            else:
+                # One report window per client: the client's own sends are
+                # buffered, then flushed (window closed) before the next
+                # client reports -- so server reactions interleave exactly
+                # as on the per-message path.
+                clients = self.clients
+                flush = self.transport.flush_reports
+                for oid in self._client_order:
+                    buf.depth = 1
+                    clients[oid].report_phase(clock)
+                    buf.depth = 0
+                    if buf.kind:
+                        flush(buf)
         beacon = self.config.static_beacon_steps
         if (
             self.config.propagation.is_lazy
@@ -274,8 +296,22 @@ class MobiEyesSystem:
         if self._fastpath is not None:
             self._fastpath.evaluation_phase(clock)
             return
-        for oid in self._client_order:
-            self.clients[oid].evaluation_phase(clock)
+        buf = self.transport.report_buffer
+        if buf is None:
+            for oid in self._client_order:
+                self.clients[oid].evaluation_phase(clock)
+            return
+        # One window around the whole evaluation pass: result reports only
+        # flow client -> server here (applying one cannot influence another
+        # client's evaluation), so a single end-of-phase flush is safe.
+        buf.depth = 1
+        try:
+            for oid in self._client_order:
+                self.clients[oid].evaluation_phase(clock)
+        finally:
+            buf.depth = 0
+        if buf.kind:
+            self.transport.flush_reports(buf)
 
     def _measurement_phase(self, clock: SimulationClock) -> None:
         server_seconds, server_ops = self.server.reset_load()

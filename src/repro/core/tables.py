@@ -101,6 +101,10 @@ class SqtEntry:
     # expired and the query is withdrawn from the RQI (see
     # MobiEyesServer.expire_leases).  Always False outside fault injection.
     suspended: bool = False
+    # Last descriptor assembled for this entry.  Not authoritative state:
+    # ``MobiEyesServer._descriptor`` revalidates it by identity against the
+    # inputs it was built from before reuse, so it needs no invalidation.
+    desc_cache: QueryDescriptor | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_static(self) -> bool:
@@ -192,9 +196,41 @@ class ReverseQueryIndex:
                     del self._cells[cell]
 
     def move(self, qid: QueryId, old_region: CellRange, new_region: CellRange) -> None:
-        """Move a query from one monitoring region to another."""
-        self.remove(qid, old_region)
-        self.add(qid, new_region)
+        """Move a query from one monitoring region to another.
+
+        Consecutive monitoring regions of a focal object overlap heavily
+        (the region shifts by one cell per crossing), so only the
+        symmetric difference is touched: cells in both ranges keep their
+        registration.
+        """
+        if old_region == new_region:
+            return
+        cells = self._cells
+        for cell in old_region:
+            if new_region.contains(cell):
+                continue
+            bucket = cells.get(cell)
+            if bucket is not None:
+                bucket.discard(qid)
+                if not bucket:
+                    del cells[cell]
+        for cell in new_region:
+            if old_region.contains(cell):
+                continue
+            cells.setdefault(cell, set()).add(qid)
+
+    def fresh_ids_between(self, prev_cell: CellIndex, new_cell: CellIndex) -> list[QueryId]:
+        """Query ids registered at ``new_cell`` but not ``prev_cell``, in
+        ascending order -- the queries an object crossing between the two
+        cells newly became nearby to.  Reads the buckets directly instead
+        of materializing two frozenset copies."""
+        bucket = self._cells.get(new_cell)
+        if not bucket:
+            return []
+        prev = self._cells.get(prev_cell)
+        if not prev:
+            return sorted(bucket)
+        return sorted(qid for qid in bucket if qid not in prev)
 
     def queries_at(self, cell: CellIndex) -> frozenset[QueryId]:
         """``nearby_queries`` of an object whose current cell is ``cell``."""
@@ -207,6 +243,9 @@ class ReverseQueryIndex:
 
 
 # ------------------------------------------------------------- object side
+
+# Hull sentinel: wide enough that any real cell index lies inside.
+_HULL_MAX = 1 << 62
 
 
 @dataclass(slots=True)
@@ -241,16 +280,24 @@ class LqtEntry:
 
     @staticmethod
     def from_descriptor(desc: QueryDescriptor) -> "LqtEntry":
-        """Build an LQT entry from a broadcast descriptor."""
-        return LqtEntry(
-            qid=desc.qid,
-            oid=desc.oid,
-            region=desc.region,
-            filter=desc.filter,
-            focal_state=desc.focal_state,
-            focal_max_speed=desc.focal_max_speed,
-            mon_region=desc.mon_region,
-        )
+        """Build an LQT entry from a broadcast descriptor.
+
+        Fills the slots directly instead of going through the generated
+        ``__init__``: installs run tens of thousands of times per dense
+        step sequence and the keyword-argument dispatch dominates.
+        """
+        entry = object.__new__(LqtEntry)
+        entry.qid = desc.qid
+        entry.oid = desc.oid
+        entry.region = desc.region
+        entry.filter = desc.filter
+        entry.focal_state = desc.focal_state
+        entry.focal_max_speed = desc.focal_max_speed
+        entry.mon_region = desc.mon_region
+        entry.is_target = False
+        entry.ptm = 0.0
+        entry.reach = region_reach(desc.region) if desc.oid is not None else 0.0
+        return entry
 
 
 class LocalQueryTable:
@@ -268,6 +315,20 @@ class LocalQueryTable:
     entry's ``focal_state`` in place (see :meth:`notify_state`).  With no
     watcher registered -- the reference engine -- the hooks reduce to one
     ``None`` check.
+
+    A second, independent *entry watcher* slot (:meth:`watch_entries`)
+    receives the entries themselves -- ``entry_installed(oid, entry)`` /
+    ``entry_removed(oid, entry)`` -- so a broadcast fan-out can maintain a
+    query-to-holders index without scanning tables.
+
+    The table also maintains a *hull*: the intersection of every
+    installed entry's monitoring-region bounds.  While the owning object
+    stays inside the hull, no entry's region can have been left, so the
+    cell-crossing drop scan is skipped entirely.  The hull only tightens
+    on install (and on in-place region rewrites via :meth:`tighten_hull`);
+    removals leave it stale-but-conservative until
+    :meth:`recompute_hull` -- a too-small hull only costs an extra scan,
+    never a missed drop.
     """
 
     def __init__(self) -> None:
@@ -275,12 +336,65 @@ class LocalQueryTable:
         self.version = 0
         self._watcher = None
         self._watch_oid: ObjectId | None = None
+        self._entry_watcher = None
+        self._entry_oid: ObjectId | None = None
+        self.hull_lo_i = -_HULL_MAX
+        self.hull_hi_i = _HULL_MAX
+        self.hull_lo_j = -_HULL_MAX
+        self.hull_hi_j = _HULL_MAX
 
     def watch(self, watcher, oid: ObjectId) -> None:
         """Register ``watcher`` to receive change notifications for this
         table, identified by the owning object's ``oid``."""
         self._watcher = watcher
         self._watch_oid = oid
+
+    def watch_entries(self, watcher, oid: ObjectId) -> None:
+        """Register an entry watcher (``entry_installed`` /
+        ``entry_removed`` hooks), identified by the owning object's oid."""
+        self._entry_watcher = watcher
+        self._entry_oid = oid
+
+    # ----------------------------------------------------------------- hull
+
+    def hull_contains(self, cell: CellIndex) -> bool:
+        """Whether ``cell`` lies inside every entry's monitoring-region
+        bounds (conservatively: inside the maintained hull)."""
+        i, j = cell
+        return (
+            self.hull_lo_i <= i <= self.hull_hi_i
+            and self.hull_lo_j <= j <= self.hull_hi_j
+        )
+
+    def tighten_hull(self, region: CellRange) -> None:
+        """Intersect the hull with one monitoring region's bounds."""
+        if region.lo_i > self.hull_lo_i:
+            self.hull_lo_i = region.lo_i
+        if region.hi_i < self.hull_hi_i:
+            self.hull_hi_i = region.hi_i
+        if region.lo_j > self.hull_lo_j:
+            self.hull_lo_j = region.lo_j
+        if region.hi_j < self.hull_hi_j:
+            self.hull_hi_j = region.hi_j
+
+    def recompute_hull(self) -> None:
+        """Rebuild the hull exactly from the surviving entries."""
+        lo_i = lo_j = -_HULL_MAX
+        hi_i = hi_j = _HULL_MAX
+        for entry in self._entries.values():
+            region = entry.mon_region
+            if region.lo_i > lo_i:
+                lo_i = region.lo_i
+            if region.hi_i < hi_i:
+                hi_i = region.hi_i
+            if region.lo_j > lo_j:
+                lo_j = region.lo_j
+            if region.hi_j < hi_j:
+                hi_j = region.hi_j
+        self.hull_lo_i = lo_i
+        self.hull_hi_i = hi_i
+        self.hull_lo_j = lo_j
+        self.hull_hi_j = hi_j
 
     def notify_state(self, entry: LqtEntry) -> None:
         """Tell the watcher (if any) that ``entry.focal_state`` was replaced."""
@@ -306,9 +420,13 @@ class LocalQueryTable:
         """Install (or replace) a query entry."""
         self._entries[entry.qid] = entry
         self.version += 1
+        self.tighten_hull(entry.mon_region)
         watcher = self._watcher
         if watcher is not None:
             watcher.lqt_changed(self._watch_oid)
+        entry_watcher = self._entry_watcher
+        if entry_watcher is not None:
+            entry_watcher.entry_installed(self._entry_oid, entry)
 
     def remove(self, qid: QueryId) -> LqtEntry | None:
         """Remove a stored entry."""
@@ -318,6 +436,9 @@ class LocalQueryTable:
             watcher = self._watcher
             if watcher is not None:
                 watcher.lqt_changed(self._watch_oid)
+            entry_watcher = self._entry_watcher
+            if entry_watcher is not None:
+                entry_watcher.entry_removed(self._entry_oid, entry)
         return entry
 
     def entries(self) -> list[LqtEntry]:

@@ -33,16 +33,21 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Protocol
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol
 
+from repro.core.messages import UplinkReportBatch
 from repro.geometry import Point
-from repro.grid import CellIndex, CellRange, Grid
+from repro.grid import CellIndex, CellRange, CellRangeUnion, Grid
 from repro.mobility.model import ObjectId
 from repro.network.basestation import BaseStationId, BaseStationLayout
 from repro.network.latency import LatencyModel
 from repro.network.loss import LossModel
 from repro.network.messaging import MessageLedger
 from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reporting import ReportBuffer
 
 # Envelope sender key for server-originated traffic.  Object ids are
 # non-negative, so the server's messages sort first within a step.
@@ -202,6 +207,22 @@ class SimulatedTransport:
         # Per-step delivery statistics, drained by the metrics collector.
         self._delivered_deferred = 0
         self._delivered_delay_sum = 0
+        # Optional serialization meter: when armed (the bench's phase-split
+        # instrumentation), wall seconds spent on message/envelope
+        # accounting -- ledger charging, tracing, batch grouping -- are
+        # accumulated here, separately from protocol compute.
+        self.meter_serialization = False
+        self.serialization_seconds = 0.0
+        # Columnar report buffer (wired by the system when batched
+        # reporting is on); clients append to it while a window is open
+        # (``depth > 0``) instead of sending per-report dataclasses.
+        self.report_buffer: "ReportBuffer | None" = None
+        # Vectorized broadcast fan-out (wired by the fastpath runtime).
+        # When set, eligible region broadcasts are applied to all covered
+        # receivers in bulk instead of one ``_deliver`` call each; the
+        # hook declines (returns False) whenever loss, reliability,
+        # tracing, or deferred delivery require per-receiver semantics.
+        self.fanout = None
 
     # ------------------------------------------------------------- wiring
 
@@ -335,11 +356,40 @@ class SimulatedTransport:
         if queue:
             for due in sorted(key for key in queue if key <= step):
                 batch = queue.pop(due)
+                if any(env.kind == "uplink_batch" for env in batch):
+                    self._open_expanded(batch, step)
+                    continue
                 batch.sort(key=lambda env: (env.sender, env.seq))
                 for envelope in batch:
                     self._open_envelope(envelope, step)
         if self.reliability is not None:
             self.reliability.advance(step)
+
+    def _open_expanded(self, batch: list[Envelope], step: int) -> None:
+        """Drain one due slot that contains batched-report envelopes.
+
+        Each batch envelope carries N report records, every record keeping
+        the sender and transport sequence number the per-message path would
+        have stamped on its own envelope.  Expanding batches to per-record
+        units and merge-sorting them with the scalar envelopes by
+        ``(sender, seq)`` reproduces the per-message drain order exactly.
+        """
+        units: list[tuple[int, int, Envelope, int]] = []
+        for env in batch:
+            if env.kind == "uplink_batch":
+                message: UplinkReportBatch = env.message  # type: ignore[assignment]
+                for k in range(message.count):
+                    units.append((message.oid[k], message.seq[k], env, k))
+            else:
+                units.append((env.sender, env.seq, env, -1))
+        units.sort(key=lambda unit: (unit[0], unit[1]))
+        for _sender, _seq, env, k in units:
+            if k < 0:
+                self._open_envelope(env, step)
+                continue
+            self._delivered_deferred += 1
+            self._delivered_delay_sum += step - env.sent_step
+            self._server.apply_report_record(env.message, k)  # type: ignore[union-attr]
 
     def _open_envelope(self, envelope: Envelope, step: int) -> None:
         """Hand one due envelope to its receiver."""
@@ -362,8 +412,16 @@ class SimulatedTransport:
         self.reliability.open_envelope(envelope)
 
     def pending_count(self) -> int:
-        """Envelopes currently in flight (enqueued, not yet delivered)."""
-        return sum(len(batch) for batch in self._queue.values())
+        """Logical messages currently in flight (enqueued, not yet
+        delivered); a batched-report envelope counts once per record."""
+        total = 0
+        for batch in self._queue.values():
+            for env in batch:
+                if env.kind == "uplink_batch":
+                    total += env.message.count  # type: ignore[attr-defined]
+                else:
+                    total += 1
+        return total
 
     def drain_delivery_stats(self) -> tuple[int, int]:
         """``(deferred deliveries, summed delivery delay in steps)`` since
@@ -390,14 +448,21 @@ class SimulatedTransport:
             raise RuntimeError("no server attached to transport")
         if self.reliability is not None and getattr(message, "reliable", False):
             return self.reliability.reliable_uplink(message)
+        meter = self.meter_serialization
+        t0 = perf_counter() if meter else 0.0
         bits = message.bits  # type: ignore[attr-defined]
         sender = getattr(message, "oid", None)
         self.ledger.record_uplink(type(message).__name__, bits, sender=sender)
         if self.trace is not None:
             self.trace.record(self._step, "uplink", type=type(message).__name__, oid=sender)
+        if meter:
+            self.serialization_seconds += perf_counter() - t0
         if self.loss is not None and self.loss.drop_uplink(message):
             return False  # sent (and accounted) but lost in transit
-        delay = self._uplink_delay()
+        # With no latency model configured the hop is always inline: hand
+        # the message straight to the server without computing a delay or
+        # touching the envelope pipeline.
+        delay = 0 if self.latency is None else self._uplink_delay()
         if delay <= 0:
             self._server.on_uplink(message)
             return True
@@ -405,6 +470,102 @@ class SimulatedTransport:
             "uplink", message, sender if sender is not None else SERVER_SENDER, delay
         )
         return True
+
+    def flush_reports(self, buf: "ReportBuffer") -> None:
+        """Flush a closed client-side report window.
+
+        Must be called with the window closed (``buf.depth == 0``): any
+        report a server reaction provokes mid-flush then takes the
+        ordinary inline path, exactly where the per-message pipeline would
+        have sent it.  Three modes, chosen once per flush:
+
+        - **Replay** (a loss model or the reliability layer is active, or
+          the server has no columnar ingestion): every record is
+          rehydrated into its dataclass and sent through :meth:`uplink`,
+          keeping drop rolls, acks, and retransmissions per logical
+          message.
+        - **Inline** (no deferred delivery): records are charged to the
+          ledger and applied to the server column by column -- no
+          dataclass, no envelope.
+        - **Deferred** (nonzero latency): records are charged and stamped
+          with per-record delays and sequence numbers in append order
+          (the per-message path's RNG-draw and seq order), then grouped
+          into one :class:`UplinkReportBatch` envelope per
+          ``(delivery step, sender cell)``.
+        """
+        n = len(buf.kind)
+        if n == 0:
+            return
+        server = self._server
+        if server is None:
+            raise RuntimeError("no server attached to transport")
+        apply_record = getattr(server, "apply_report_record", None)
+        if self.loss is not None or self.reliability is not None or apply_record is None:
+            for i in range(n):
+                self.uplink(buf.rehydrate(i))
+            buf.clear()
+            return
+        meter = self.meter_serialization
+        ledger = self.ledger
+        trace = self.trace
+        step = self._step
+        if not self.latency_active:
+            for i in range(n):
+                t0 = perf_counter() if meter else 0.0
+                name = buf.kind_name_of(i)
+                oid = buf.oid[i]
+                ledger.record_uplink(name, buf.bits_of(i), sender=oid)
+                if trace is not None:
+                    trace.record(step, "uplink", type=name, oid=oid)
+                if meter:
+                    self.serialization_seconds += perf_counter() - t0
+                apply_record(buf, i)
+            buf.clear()
+            return
+        t0 = perf_counter() if meter else 0.0
+        latency = self.latency
+        cell_of = self.coverage.cell_of if self._route_cells else None
+        groups: dict[tuple[int, object], UplinkReportBatch] = {}
+        for i in range(n):
+            name = buf.kind_name_of(i)
+            oid = buf.oid[i]
+            ledger.record_uplink(name, buf.bits_of(i), sender=oid)
+            if trace is not None:
+                trace.record(step, "uplink", type=name, oid=oid)
+            delay = latency.uplink_delay()
+            self._envelope_seq += 1
+            key = (delay, cell_of(oid) if cell_of is not None else None)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = UplinkReportBatch()
+            group.kind.append(buf.kind[i])
+            group.oid.append(oid)
+            group.epoch.append(buf.epoch[i])
+            group.prev_i.append(buf.prev_i[i])
+            group.prev_j.append(buf.prev_j[i])
+            group.new_i.append(buf.new_i[i])
+            group.new_j.append(buf.new_j[i])
+            group.state.append(buf.state[i])
+            lo, hi = buf.qid_lo[i], buf.qid_hi[i]
+            group.qid_lo.append(len(group.qid_flat))
+            group.qid_flat.extend(buf.qid_flat[lo:hi])
+            group.flag_flat.extend(buf.flag_flat[lo:hi])
+            group.qid_hi.append(len(group.qid_flat))
+            group.seq.append(self._envelope_seq)
+        for (delay, _cell), message in groups.items():
+            self._queue.setdefault(step + delay, []).append(
+                Envelope(
+                    deliver_step=step + delay,
+                    sender=message.oid[0],
+                    seq=message.seq[0],
+                    kind="uplink_batch",
+                    message=message,
+                    sent_step=step,
+                )
+            )
+        if meter:
+            self.serialization_seconds += perf_counter() - t0
+        buf.clear()
 
     def send(self, oid: ObjectId, message: object) -> bool | None:
         """Server -> one object (counted as a single downlink message).
@@ -415,10 +576,14 @@ class SimulatedTransport:
         """
         if self.reliability is not None and getattr(message, "reliable", False):
             return self.reliability.reliable_send(oid, message)
+        meter = self.meter_serialization
+        t0 = perf_counter() if meter else 0.0
         bits = message.bits  # type: ignore[attr-defined]
         self.ledger.record_downlink(type(message).__name__, bits, receivers=(oid,), broadcasts=1)
         if self.trace is not None:
             self.trace.record(self._step, "send", type=type(message).__name__, oid=oid)
+        if meter:
+            self.serialization_seconds += perf_counter() - t0
         return self._deliver(oid, message)
 
     def broadcast(self, region: Iterable[CellIndex], message: object) -> int:
@@ -429,13 +594,17 @@ class SimulatedTransport:
         inside the chosen stations' circles over-hear it (receive energy
         only).  Returns the number of broadcast messages sent.
         """
-        if not isinstance(region, CellRange):
+        if not isinstance(region, (CellRange, CellRangeUnion)):
             region = list(region)
         station_ids = self.layout.minimal_cover(region)
         if not station_ids:
             return 0
+        if self.fanout is not None and self.fanout.try_broadcast(station_ids, region, message):
+            return len(station_ids)
         receivers = self.coverage.covered_by_stations(station_ids)
         receivers |= self.coverage.in_cells(region)
+        meter = self.meter_serialization
+        t0 = perf_counter() if meter else 0.0
         bits = message.bits  # type: ignore[attr-defined]
         self.ledger.record_downlink(
             type(message).__name__, bits, receivers=receivers, broadcasts=len(station_ids)
@@ -448,6 +617,8 @@ class SimulatedTransport:
                 stations=len(station_ids),
                 receivers=len(receivers),
             )
+        if meter:
+            self.serialization_seconds += perf_counter() - t0
         for oid in sorted(receivers):
             self._deliver(oid, message)
         return len(station_ids)
@@ -469,7 +640,7 @@ class SimulatedTransport:
         seq = self.next_downlink_seq(oid) if self.reliability is not None else None
         if dropped:
             return False
-        delay = self._downlink_delay()
+        delay = 0 if self.latency is None else self._downlink_delay()
         if delay > 0:
             self._enqueue(
                 "downlink", message, SERVER_SENDER, delay, receiver=oid, downlink_seq=seq

@@ -132,17 +132,32 @@ def scenario_matrix(
 
 
 def _instrument(system: MobiEyesSystem) -> dict[str, float]:
-    """Wrap every engine phase callback with a wall-clock accumulator."""
+    """Wrap every engine phase callback with a wall-clock accumulator.
+
+    Arms the transport's serialization meter and reports the time spent
+    constructing and metering wire messages (ledger records, envelope
+    assembly, batch encoding) as its own ``serialization`` row; each
+    phase's row is its wall time *minus* the serialization share, so
+    ``reporting`` isolates candidate scanning and report computation from
+    the protocol encoding cost it triggers.
+    """
     totals = {name: 0.0 for name in PHASE_ORDER}
+    totals["serialization"] = 0.0
+    transport = system.transport
+    transport.meter_serialization = True
     phases = system.engine._phases
     for name in PHASE_ORDER:
         wrapped = []
         for callback in phases[name]:
 
             def timed(clock, _cb=callback, _name=name):
+                ser0 = transport.serialization_seconds
                 started = time.perf_counter()
                 _cb(clock)
-                totals[_name] += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                ser = transport.serialization_seconds - ser0
+                totals[_name] += elapsed - ser
+                totals["serialization"] += ser
 
             wrapped.append(timed)
         phases[name] = wrapped
@@ -293,6 +308,10 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
     if "steps_per_sec" in ref and "steps_per_sec" in vec:
         row["speedup"] = round(vec["steps_per_sec"] / ref["steps_per_sec"], 3)
         row["results_match"] = ref["result_hash"] == vec["result_hash"]
+        ref_rep = ref.get("phase_seconds", {}).get("reporting", 0.0)
+        vec_rep = vec.get("phase_seconds", {}).get("reporting", 0.0)
+        if ref_rep > 0 and vec_rep > 0:
+            row["reporting_speedup"] = round(ref_rep / vec_rep, 3)
     return row
 
 
@@ -301,13 +320,30 @@ class BenchRegression(RuntimeError):
     allowed throughput margin (the artifact is still written first)."""
 
 
-def compare_reports(new: dict, baseline: dict, threshold: float = 0.2) -> list[str]:
+def compare_reports(
+    new: dict,
+    baseline: dict,
+    threshold: float = 0.2,
+    phase_threshold: float = 0.25,
+    phase_floor: float = 0.1,
+) -> list[str]:
     """Regression-gate a fresh bench report against a baseline artifact.
 
-    Returns one message per scenario/engine pair whose ``steps_per_sec``
-    dropped by more than ``threshold`` (fraction) relative to the
-    baseline.  Pairs are matched by scenario name and engine; a pair is
-    only compared when mode, shards, and latency settings agree, so a
+    Three gates per matched scenario/engine pair:
+
+    - throughput: ``steps_per_sec`` dropped by more than ``threshold``
+      (fraction) relative to the baseline;
+    - per-phase time: any phase present in both reports regressed by more
+      than ``phase_threshold`` (fraction).  Phases below ``phase_floor``
+      seconds in the baseline are skipped, and the absolute growth must
+      itself exceed the floor, so timer noise on near-zero phases cannot
+      fail a run;
+    - determinism: ``result_hash`` and message counts must match the
+      baseline exactly (same workload seed, so any drift is a semantic
+      regression, not noise).
+
+    Pairs are matched by scenario name and engine; a pair is only
+    compared when mode, shards, and latency settings agree, so a
     baseline recorded under different knobs silently gates nothing.
     """
     failures: list[str] = []
@@ -338,6 +374,33 @@ def compare_reports(new: dict, baseline: dict, threshold: float = 0.2) -> list[s
                     f"{row['name']}/{engine}: {new_rate:.2f} steps/s is below "
                     f"{floor:.2f} (baseline {base_rate:.2f} - {threshold:.0%})"
                 )
+            new_hash = result.get("result_hash")
+            base_hash = base_result.get("result_hash")
+            if new_hash and base_hash and new_hash != base_hash:
+                failures.append(
+                    f"{row['name']}/{engine}: result_hash {new_hash[:16]}... "
+                    f"differs from baseline {base_hash[:16]}..."
+                )
+            for counter in ("uplink_messages", "downlink_messages"):
+                new_count = result.get(counter)
+                base_count = base_result.get(counter)
+                if new_count is not None and base_count is not None and new_count != base_count:
+                    failures.append(
+                        f"{row['name']}/{engine}: {counter} {new_count} "
+                        f"!= baseline {base_count}"
+                    )
+            base_phases = base_result.get("phase_seconds", {})
+            for phase, new_spent in result.get("phase_seconds", {}).items():
+                base_spent = base_phases.get(phase)
+                if base_spent is None or base_spent < phase_floor:
+                    continue
+                limit = (1.0 + phase_threshold) * base_spent
+                if new_spent > limit and new_spent - base_spent > phase_floor:
+                    failures.append(
+                        f"{row['name']}/{engine}: phase {phase} {new_spent:.2f}s "
+                        f"exceeds {limit:.2f}s (baseline {base_spent:.2f}s "
+                        f"+ {phase_threshold:.0%})"
+                    )
     return failures
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.fastpath.store import ObjectStateStore
-from repro.grid import CellIndex, CellRange, Grid
+from repro.grid import CellIndex, CellRange, CellRangeUnion, Grid
 from repro.mobility.model import ObjectId
 from repro.network.basestation import BaseStationId, BaseStationLayout
 
@@ -47,6 +47,7 @@ class VectorizedCoverageIndex:
         self._tile_x = self._empty
         self._tile_y = self._empty
         self._tile_oids = self._empty
+        self._tile_rows = self._empty  # store rows in tile-sorted order
         self._cell_oids: list[ObjectId] = []
         self._cell_rows = self._empty  # store rows in cell-sorted order
         self._cell_keys = self._empty  # flattened cell keys, sorted
@@ -63,6 +64,7 @@ class VectorizedCoverageIndex:
         self._tile_x = store.x[order]
         self._tile_y = store.y[order]
         self._tile_oids = store.oids[order]
+        self._tile_rows = order
 
         cell_key = store.cell_i * self.grid.n_rows + store.cell_j
         order = np.argsort(cell_key, kind="stable")
@@ -107,6 +109,101 @@ class VectorizedCoverageIndex:
                 inside = dx * dx + dy * dy <= r_sq
                 out.update(self._tile_oids[lo:hi][inside].tolist())
         return out
+
+    def receiver_mask(
+        self,
+        station_ids: Iterable[BaseStationId],
+        region: "CellRange | CellRangeUnion | Iterable[CellIndex]",
+    ):
+        """Boolean store-row mask of one broadcast's receivers.
+
+        Same membership as ``covered_by_stations(station_ids) |
+        in_cells(region)``, but produced as an array mask without building
+        the intermediate Python sets -- the fan-out applies broadcasts in
+        bulk, so it never needs the receivers in set form.
+        """
+        np = self.store.np
+        mask = np.zeros(self.store.n, dtype=bool)
+        layout = self.layout
+        tile_rows = layout.tile_rows
+        keys = self._tile_keys
+        trows = self._tile_rows
+        # One batched binary search for every station's candidate tile
+        # columns, then one concatenated distance pass over all slices --
+        # the covers are small, so per-station array ops would drown in
+        # fixed numpy overhead.
+        lo_keys: list[int] = []
+        hi_keys: list[int] = []
+        spans: list[tuple[int, float, float, float]] = []  # (#cols, cx, cy, r^2)
+        for bsid in station_ids:
+            coverage = layout.get(bsid).coverage
+            ti, tj = layout.tile_of_station(bsid)
+            jlo = max(tj - 1, 0)
+            jhi = min(tj + 1, tile_rows - 1)
+            ncols = 0
+            for col in (ti - 1, ti, ti + 1):
+                if 0 <= col < layout.tile_cols:
+                    lo_keys.append(col * tile_rows + jlo)
+                    hi_keys.append(col * tile_rows + jhi + 1)
+                    ncols += 1
+            spans.append((ncols, coverage.cx, coverage.cy, coverage.r * coverage.r))
+        bounds = keys.searchsorted(lo_keys + hi_keys).tolist()
+        nkeys = len(lo_keys)
+        slices: list[tuple[int, int]] = []
+        cxs: list[float] = []
+        cys: list[float] = []
+        rsqs: list[float] = []
+        k = 0
+        for ncols, cx, cy, r_sq in spans:
+            for _ in range(ncols):
+                lo = bounds[k]
+                hi = bounds[k + nkeys]
+                k += 1
+                if lo != hi:
+                    slices.append((lo, hi))
+                    cxs.append(cx)
+                    cys.append(cy)
+                    rsqs.append(r_sq)
+        if slices:
+            xs = np.concatenate([self._tile_x[lo:hi] for lo, hi in slices])
+            ys = np.concatenate([self._tile_y[lo:hi] for lo, hi in slices])
+            rows = np.concatenate([trows[lo:hi] for lo, hi in slices])
+            lens = [hi - lo for lo, hi in slices]
+            dx = xs - np.repeat(cxs, lens)
+            dy = ys - np.repeat(cys, lens)
+            inside = dx * dx + dy * dy <= np.repeat(rsqs, lens)
+            mask[rows[inside]] = True
+        if type(region) is CellRange:
+            rects = (region,)
+        elif type(region) is CellRangeUnion:
+            rects = (region.first, region.second)
+        else:
+            rects = None
+        n_rows = self.grid.n_rows
+        ckeys = self._cell_keys
+        crows = self._cell_rows
+        if rects is not None:
+            # A rect's keys are contiguous per i-column: one batched binary
+            # search yields every column's sorted-run bounds at once.
+            search = ckeys.searchsorted
+            for rect in rects:
+                span = rect.hi_j - rect.lo_j + 1
+                lo_keys = [i * n_rows + rect.lo_j for i in range(rect.lo_i, rect.hi_i + 1)]
+                bounds = search(lo_keys + [k + span for k in lo_keys]).tolist()
+                nc = len(lo_keys)
+                for k in range(nc):
+                    lo = bounds[k]
+                    hi = bounds[k + nc]
+                    if lo != hi:
+                        mask[crows[lo:hi]] = True
+        else:
+            for i, j in region:
+                key = i * n_rows + j
+                lo = int(np.searchsorted(ckeys, key))
+                hi = int(np.searchsorted(ckeys, key + 1))
+                if lo != hi:
+                    mask[crows[lo:hi]] = True
+        return mask
 
     def in_cells(self, cells: Iterable[CellIndex]) -> set[ObjectId]:
         """Objects currently located in the given grid cells."""

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 from repro.fastpath.coverage import VectorizedCoverageIndex
 from repro.fastpath.evaluator import BatchEvaluator
+from repro.fastpath.fanout import BroadcastFanout
 from repro.fastpath.motion import VectorizedMotionModel
 from repro.fastpath.oracle import exact_results_fast
 from repro.fastpath.store import ObjectStateStore
@@ -77,11 +78,38 @@ class FastpathRuntime:
         # drift.
         self.last_i = np.empty(self.store.n, dtype=np.int64)
         self.last_j = np.empty(self.store.n, dtype=np.int64)
+        # Mirror of each client's relayed motion state, for the vectorized
+        # dead-reckoning pre-filter; kept current through the client's
+        # `_relayed_watcher` hook (fired on every `_set_relayed`).
+        self.rel_x = np.empty(self.store.n, dtype=np.float64)
+        self.rel_y = np.empty(self.store.n, dtype=np.float64)
+        self.rel_vx = np.empty(self.store.n, dtype=np.float64)
+        self.rel_vy = np.empty(self.store.n, dtype=np.float64)
+        self.rel_rec = np.empty(self.store.n, dtype=np.float64)
         for row, obj in enumerate(self.store.objects):
-            cell = system.clients[obj.oid].last_cell
+            client = system.clients[obj.oid]
+            cell = client.last_cell
             self.last_i[row] = cell[0]
             self.last_j[row] = cell[1]
+            self._relayed_changed(obj.oid, client._relayed_state)
+            client._relayed_watcher = self._relayed_changed
+        # Bulk application of eligible server broadcasts; the transport
+        # falls back to its per-receiver loop whenever the fan-out
+        # declines (loss, reliability, tracing, latency, ...).
+        self.fanout = BroadcastFanout(self)
+        system.transport.fanout = self.fanout
         self.processing_seconds = 0.0
+
+    def _relayed_changed(self, oid: "ObjectId", state) -> None:
+        """Client hook: mirror a relayed-state update into the DR columns."""
+        row = self.store.row_of[oid]
+        pos = state.pos
+        vel = state.vel
+        self.rel_x[row] = pos.x
+        self.rel_y[row] = pos.y
+        self.rel_vx[row] = vel.x
+        self.rel_vy[row] = vel.y
+        self.rel_rec[row] = state.recorded_at
 
     # ------------------------------------------------------------- phases
 
@@ -101,7 +129,23 @@ class FastpathRuntime:
         now = clock.now_hours
         changed = (store.cell_i != self.last_i) | (store.cell_j != self.last_j)
         candidates = set(store.oids[changed].tolist()) if changed.any() else set()
-        candidates.update(self.system.focal_flags)
+        focal = self.system.focal_flags
+        if focal:
+            # Dead-reckoning pre-filter: a focal candidate whose cell did
+            # not change and whose phase-start deviation is within the
+            # threshold is a provable no-op in the scalar loop, because its
+            # relayed state cannot change before its own turn -- any
+            # mid-phase `_set_relayed` (resync, motion-state request, its
+            # own cell-change relay) installs a fresh snapshot whose
+            # predicted position IS the current position, i.e. deviation
+            # zero.  The array expression replays the scalar arithmetic
+            # exactly: predict's `pos + vel * dt` and `math.hypot` (the
+            # same libm hypot `np.hypot` dispatches to).
+            dt = now - self.rel_rec
+            dx = store.x - (self.rel_x + self.rel_vx * dt)
+            dy = store.y - (self.rel_y + self.rel_vy * dt)
+            deviating = np.hypot(dx, dy) > self.system.config.dead_reckoning_threshold
+            candidates.update(focal.intersection(store.oids[deviating].tolist()))
         if not candidates:
             return
         clients = self.system.clients
@@ -109,23 +153,61 @@ class FastpathRuntime:
         cell_i = store.cell_i
         cell_j = store.cell_j
         threshold = self.system.config.dead_reckoning_threshold
+        transport = self.system.transport
+        buf = transport.report_buffer
+        if buf is None:
+            for oid in sorted(candidates):
+                client = clients[oid]
+                row = row_of[oid]
+                new_cell = (int(cell_i[row]), int(cell_j[row]))
+                if new_cell != client.last_cell:
+                    # Mirror first: the handler sets `last_cell` as its
+                    # first statement, so the broadcast fan-out sees the
+                    # two in agreement even mid-handler.
+                    self.last_i[row] = new_cell[0]
+                    self.last_j[row] = new_cell[1]
+                    client._handle_own_cell_change(new_cell, now)
+                if client.has_mq:
+                    deviation = client.obj.pos.distance_to(client._relayed_state.predict(now))
+                    if deviation > threshold:
+                        client._relay_motion_state(now)
+            return
+        # One report window per candidate (mirrors the reference engine's
+        # per-client window): the candidate's sends are buffered and flush
+        # before the next candidate runs.
+        flush = transport.flush_reports
         for oid in sorted(candidates):
             client = clients[oid]
             row = row_of[oid]
             new_cell = (int(cell_i[row]), int(cell_j[row]))
+            buf.depth = 1
             if new_cell != client.last_cell:
-                client._handle_own_cell_change(new_cell, now)
                 self.last_i[row] = new_cell[0]
                 self.last_j[row] = new_cell[1]
+                client._handle_own_cell_change(new_cell, now)
             if client.has_mq:
                 deviation = client.obj.pos.distance_to(client._relayed_state.predict(now))
                 if deviation > threshold:
                     client._relay_motion_state(now)
+            buf.depth = 0
+            if buf.kind:
+                flush(buf)
 
     def evaluation_phase(self, clock: "SimulationClock") -> None:
         """One batched pass over every client's local query table."""
         started = time.perf_counter()
-        self.evaluator.run(clock.now_hours)
+        transport = self.system.transport
+        buf = transport.report_buffer
+        if buf is None:
+            self.evaluator.run(clock.now_hours)
+        else:
+            buf.depth = 1
+            try:
+                self.evaluator.run(clock.now_hours)
+            finally:
+                buf.depth = 0
+            if buf.kind:
+                transport.flush_reports(buf)
         self.processing_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------ metrics

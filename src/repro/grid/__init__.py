@@ -1,6 +1,6 @@
 """Grid model: universe of discourse, cells, Pmap, monitoring regions."""
 
-from repro.grid.grid import CellIndex, CellRange, Grid
+from repro.grid.grid import CellIndex, CellRange, CellRangeUnion, Grid
 from repro.grid.regions import (
     bounding_box,
     monitoring_region,
@@ -11,6 +11,7 @@ from repro.grid.regions import (
 __all__ = [
     "CellIndex",
     "CellRange",
+    "CellRangeUnion",
     "Grid",
     "bounding_box",
     "monitoring_region",

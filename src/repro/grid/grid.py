@@ -86,6 +86,49 @@ class CellRange:
         return False
 
 
+@dataclass(frozen=True, slots=True)
+class CellRangeUnion:
+    """The union of two rectangular cell ranges, kept in range form.
+
+    A focal object's monitoring-region refresh touches ``old | new`` --
+    two overlapping rectangles.  Materializing the union as a ``set``
+    loses the O(1) containment test and the hashability that the
+    base-station cover memoization relies on; this pair keeps both.
+    Iteration is deterministic: the first range in its native order,
+    then the second range's cells not already covered by the first.
+    """
+
+    first: CellRange
+    second: CellRange
+
+    def contains(self, cell: CellIndex) -> bool:
+        """Whether the point lies inside (or on the boundary of) the shape."""
+        return self.first.contains(cell) or self.second.contains(cell)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of grid cells."""
+        count = self.first.cell_count + self.second.cell_count
+        if self.first.intersects(self.second):
+            a, b = self.first, self.second
+            count -= (min(a.hi_i, b.hi_i) - max(a.lo_i, b.lo_i) + 1) * (
+                min(a.hi_j, b.hi_j) - max(a.lo_j, b.lo_j) + 1
+            )
+        return count
+
+    def __iter__(self) -> Iterator[CellIndex]:
+        yield from self.first
+        first = self.first
+        for cell in self.second:
+            if not first.contains(cell):
+                yield cell
+
+    def __contains__(self, cell: object) -> bool:
+        if isinstance(cell, tuple) and len(cell) == 2:
+            return self.contains(cell)  # type: ignore[arg-type]
+        return False
+
+
 class Grid:
     """The grid ``G(U, alpha)`` over a universe of discourse.
 

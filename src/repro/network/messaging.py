@@ -14,6 +14,7 @@ baselines so the experiments compare identical accounting.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -64,8 +65,12 @@ class MessageLedger:
         self.counts_by_type[msg_type] += broadcasts
         self.bits_by_type[msg_type] += bits * broadcasts
         rx_energy = self.radio.receive_energy(bits)
+        # Inlined _charge: this loop runs once per receiver per broadcast,
+        # the hottest accounting path in dense workloads.
+        energy = self.energy_by_object
+        get = energy.get
         for oid in receivers:
-            self._charge(oid, rx_energy)
+            energy[oid] = get(oid, 0.0) + rx_energy
 
     def _charge(self, oid: ObjectId, joules: float) -> None:
         self.energy_by_object[oid] = self.energy_by_object.get(oid, 0.0) + joules
@@ -83,8 +88,15 @@ class MessageLedger:
         return self.uplink_bits + self.downlink_bits
 
     def total_energy(self) -> float:
-        """Total joules charged across all objects."""
-        return sum(self.energy_by_object.values())
+        """Total joules charged across all objects.
+
+        ``fsum`` so the total is independent of the order objects were
+        first charged: the vectorized broadcast fan-out visits receivers
+        in store-row order while the reference loop visits them in set
+        order, and a naive left-to-right sum would differ in the last
+        ulps between the two.
+        """
+        return math.fsum(self.energy_by_object.values())
 
     def mean_energy_per_object(self, population: int) -> float:
         """Average joules per object over a population of ``population``

@@ -37,6 +37,7 @@ def test_artifact_shape(smoke_artifact):
             "server",
             "evaluation",
             "measurement",
+            "serialization",
         }
         assert len(ref["result_hash"]) == 64
 

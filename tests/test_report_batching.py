@@ -1,0 +1,163 @@
+"""Properties of the columnar report pipeline.
+
+Two layers of guarantees:
+
+- *Wire-size identity* (unit level): a buffered record's ledger size
+  equals the size of the dataclass message it replaces, and a batch
+  envelope's size is exactly the sum of its records' sizes -- batching
+  never changes what the ledger charges, only how many Python objects
+  exist.
+- *Accounting identity* (system level): a simulation run with
+  ``batch_reports`` on produces the same per-type message counts, the
+  same total bits, and the same query results as the per-message path,
+  across grouping on/off, 1/2/4 shards, and zero/nonzero latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MobiEyesConfig, MobiEyesSystem
+from repro.core.messages import UplinkReportBatch
+from repro.core.reporting import ReportBuffer
+from repro.mobility.model import MotionState
+from repro.geometry import Point, Vector
+from repro.sim.rng import SimulationRng
+from repro.workload import generate_workload, paper_defaults
+
+
+def _state(x: float, y: float) -> MotionState:
+    return MotionState(pos=Point(x, y), vel=Vector(0.5, -0.25), recorded_at=0.125)
+
+
+_record = st.one_of(
+    # (kind, payload) tuples drive the buffer appends below.
+    st.tuples(
+        st.just("result"),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.booleans(),
+            min_size=1,
+            max_size=8,
+        ),
+    ),
+    st.tuples(
+        st.just("cell"),
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+            st.booleans(),  # carries a motion state (focal sender)?
+        ),
+    ),
+    st.tuples(st.just("velocity"), st.none()),
+)
+
+
+def _fill(buf: ReportBuffer, records) -> None:
+    for i, (kind, payload) in enumerate(records):
+        if kind == "result":
+            buf.add_result(oid=i, changes=payload, epoch=i % 3)
+        elif kind == "cell":
+            ci, cj, focal = payload
+            buf.add_cell(
+                oid=i,
+                prev_cell=(ci, cj),
+                new_cell=(ci + 1, cj),
+                state=_state(float(ci), float(cj)) if focal else None,
+            )
+        else:
+            buf.add_velocity(oid=i, state=_state(float(i), 0.0))
+
+
+@given(st.lists(_record, min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_buffered_record_bits_equal_dataclass_bits(records):
+    """bits_of(i) == rehydrate(i).bits for every record kind and shape."""
+    buf = ReportBuffer()
+    _fill(buf, records)
+    assert buf.count == len(records)
+    for i in range(buf.count):
+        assert buf.bits_of(i) == buf.rehydrate(i).bits
+
+
+@given(st.lists(_record, min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_batch_envelope_bits_equal_sum_of_records(records):
+    """A batch envelope charges exactly the sum of its records' sizes."""
+    buf = ReportBuffer()
+    _fill(buf, records)
+    batch = UplinkReportBatch()
+    for i in range(buf.count):
+        batch.kind.append(buf.kind[i])
+        batch.oid.append(buf.oid[i])
+        batch.epoch.append(buf.epoch[i])
+        batch.prev_i.append(buf.prev_i[i])
+        batch.prev_j.append(buf.prev_j[i])
+        batch.new_i.append(buf.new_i[i])
+        batch.new_j.append(buf.new_j[i])
+        batch.state.append(buf.state[i])
+        lo, hi = buf.qid_lo[i], buf.qid_hi[i]
+        batch.qid_lo.append(len(batch.qid_flat))
+        batch.qid_flat.extend(buf.qid_flat[lo:hi])
+        batch.flag_flat.extend(buf.flag_flat[lo:hi])
+        batch.qid_hi.append(len(batch.qid_flat))
+        batch.seq.append(i)
+    assert batch.bits == sum(buf.bits_of(i) for i in range(buf.count))
+    assert batch.bits == sum(buf.rehydrate(i).bits for i in range(buf.count))
+
+
+# --------------------------------------------------------------- system level
+
+
+def _run(batch: bool, grouping: bool, shards: int, latency: int, steps: int = 12):
+    params = dataclasses.replace(paper_defaults(), seed=99).scaled(0.012)
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        base_station_side=params.base_station_side,
+        grouping=grouping,
+        dead_reckoning_threshold=0.5,
+        batch_reports=batch,
+        shards=shards,
+        uplink_latency_steps=latency,
+        downlink_latency_steps=latency,
+        latency_seed=params.seed,
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+    )
+    system.install_queries(workload.query_specs)
+    system.run(steps)
+    ledger = system.ledger
+    return (
+        sorted((qid, tuple(sorted(oids))) for qid, oids in system.results().items()),
+        dict(ledger.counts_by_type),
+        dict(ledger.bits_by_type),
+        ledger.uplink_count,
+        ledger.uplink_bits,
+        ledger.downlink_count,
+        ledger.downlink_bits,
+    )
+
+
+@pytest.mark.parametrize("grouping", [True, False])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_batching_preserves_accounting(grouping, shards):
+    """Batched == per-message: results, per-type counts, and bit totals."""
+    assert _run(True, grouping, shards, latency=0) == _run(
+        False, grouping, shards, latency=0
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_batching_preserves_accounting_under_latency(shards):
+    """Same identity on the deferred path (envelope-batched delivery)."""
+    assert _run(True, True, shards, latency=2) == _run(False, True, shards, latency=2)
