@@ -156,6 +156,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             latency=args.latency,
             jitter=args.latency_jitter,
             compare=args.compare,
+            workers=args.workers,
+            executor=args.executor,
+            scale=args.scale,
         )
     except BenchRegression as regression:
         print(str(regression), file=sys.stderr)
@@ -199,6 +202,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             uplink_latency=args.latency,
             downlink_latency=args.latency,
             latency_jitter=args.latency_jitter,
+            workers=args.workers,
+            executor=args.executor,
         )
 
     failed = False
@@ -307,6 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
         "the report gains per-shard load-balance figures when > 1",
     )
     bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker-pool size (default 0 = serial coordinator); with "
+        "--shards > 1 each scenario also runs a serial twin and reports a "
+        "parallel_speedup column plus a bit-identity check against it",
+    )
+    bench.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker-pool flavor for --workers (default thread)",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=("default", "xl"),
+        default="default",
+        help="scenario preset: 'default' = the usual matrix, 'xl' = one "
+        "100k-object / 5k-query vectorized-only scenario",
+    )
+    bench.add_argument(
         "--latency",
         type=int,
         default=0,
@@ -364,6 +390,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="server shards behind the coordinator (default 1 = monolithic server)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker-pool size (default 0 = serial coordinator); the "
+        "report is bit-identical to the serial one at any worker count",
+    )
+    chaos.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker-pool flavor for --workers (default thread)",
     )
     chaos.add_argument(
         "--latency",

@@ -66,6 +66,20 @@ class MobiEyesConfig:
             Result hashes, message counts, sizes, and energy accounting
             are bit-identical either way; ``False`` forces the historical
             per-message path.
+        shard_workers: size of the worker pool driving per-step shard work
+            (columnar result ingestion, lease-expiry scans, static-beacon
+            planning) under a sharded server.  ``0`` (the default) selects
+            the serial executor -- the coordinator drives every shard in
+            the calling thread, today's exact behavior.  Positive values
+            run each step as fork -> per-shard parallel region ->
+            deterministic barrier; cross-shard effects are merged at the
+            barrier in canonical order, so results, message counts, and
+            energy ledgers are bit-identical to the serial executor at any
+            worker count.  Ignored while ``shards == 1``.
+        shard_executor: worker-pool flavor when ``shard_workers > 0``:
+            ``"thread"`` (shared-memory thread pool) or ``"process"``
+            (fork-spawned workers holding picklable per-shard result
+            mirrors, synced through a cross-shard mailbox).
     """
 
     uod: Rect
@@ -86,6 +100,8 @@ class MobiEyesConfig:
     latency_jitter_steps: int = 0
     latency_seed: int = 0
     batch_reports: bool = True
+    shard_workers: int = 0
+    shard_executor: str = "thread"
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -108,6 +124,12 @@ class MobiEyesConfig:
         for knob in ("uplink_latency_steps", "downlink_latency_steps", "latency_jitter_steps"):
             if getattr(self, knob) < 0:
                 raise ValueError(f"{knob} must be non-negative")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be non-negative")
+        if self.shard_executor not in ("thread", "process"):
+            raise ValueError(
+                f"shard_executor must be 'thread' or 'process', got {self.shard_executor!r}"
+            )
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

@@ -43,6 +43,7 @@ from repro.core.messages import (
     REC_RESULT,
     CellChangeReport,
     MotionStateRequest,
+    QueryInstallBroadcast,
     ResultChangeReport,
 )
 from repro.core.partition import GridPartitioner
@@ -80,6 +81,14 @@ class Coordinator:
         # MobiEyesServer._report_epoch).
         self._report_epochs: dict[ObjectId, int] = {}
         self._leases_on = False
+        # Optional parallel shard executor (attach_executor); None keeps
+        # the historical serial loops.
+        self._executor = None
+        # Critical-path seconds (see reset_load): the aggregate with each
+        # parallel region's concurrency credited back, i.e. the modeled
+        # wall time of the step on enough idle cores.
+        self.last_critical_seconds = 0.0
+        self.total_critical_seconds = 0.0
         self.shards: list[ServerShard] = []
         for sid in range(self.partitioner.num_shards):
             registry = QueryRegistry(
@@ -119,6 +128,9 @@ class Coordinator:
             self.owner_of[entry.qid] = sid
             if entry.oid is not None:
                 self._focal_home[entry.oid] = sid
+            ex = self._executor
+            if ex is not None:
+                ex.note_added(sid, entry)
 
         return on_added
 
@@ -128,6 +140,9 @@ class Coordinator:
             if entry.oid is not None and not focal_left:
                 if self._focal_home.get(entry.oid) == sid:
                     del self._focal_home[entry.oid]
+            ex = self._executor
+            if ex is not None:
+                ex.note_removed(sid, entry.qid)
 
         return on_removed
 
@@ -322,13 +337,42 @@ class Coordinator:
             shard.enable_leases(lease_steps)
 
     def expire_leases(self, step: int) -> None:
-        """Expire leases shard by shard, each in ascending object order."""
-        for shard in self.shards:
-            shard.expire_leases(step)
+        """Expire leases shard by shard, each in ascending object order.
+
+        With a parallel executor the per-shard expiry *scans* (pure
+        tracker reads) run as one pooled region; the suspensions replay
+        at the barrier in shard order, ascending object order -- the
+        serial order, since a suspension cannot influence another
+        shard's scan (its broadcasts trigger no uplinks).
+        """
+        ex = self._executor
+        if ex is None or not ex.parallel:
+            for shard in self.shards:
+                shard.expire_leases(step)
+            return
+        for shard, expired in zip(self.shards, ex.scan_expired(step)):
+            for oid in expired:
+                shard._suspend(oid)
 
     def beacon_static_queries(self) -> int:
-        """Re-broadcast static query descriptors from every shard."""
-        return sum(shard.beacon_static_queries() for shard in self.shards)
+        """Re-broadcast static query descriptors from every shard.
+
+        With a parallel executor the per-shard gathers (registry reads
+        plus load charges) run as one pooled region; the broadcasts --
+        the ledger-charged effects -- replay at the barrier in shard
+        order, entry order, exactly as the serial loop sends them.
+        """
+        ex = self._executor
+        if ex is None or not ex.parallel:
+            return sum(shard.beacon_static_queries() for shard in self.shards)
+        broadcasts = 0
+        for shard, entries in zip(self.shards, ex.plan_static_beacons()):
+            for entry in entries:
+                broadcasts += shard.planner.send(
+                    entry.mon_region,
+                    QueryInstallBroadcast(queries=(shard._descriptor(entry),)),
+                )
+        return broadcasts
 
     def subscribe(self, qid: QueryId, callback: ResultCallback) -> None:
         """Register a result-change callback (fires once per change, from
@@ -358,6 +402,35 @@ class Coordinator:
         """Query ids whose monitoring region covers the cell."""
         return self.queries_at(cell)
 
+    # ------------------------------------------------ parallel execution
+
+    def attach_executor(self, executor) -> None:
+        """Bind a shard executor (see :mod:`repro.core.executor`); the
+        serial executor (or none at all) keeps the historical loops."""
+        self._executor = executor
+        executor.bind(self)
+
+    def close_executor(self) -> None:
+        """Release the executor's pool resources (idempotent)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def result_batch_applier(self):
+        """The transport's hook into the parallel result kernel.
+
+        Returns a callable taking a *run* of contiguous buffered result
+        records (``[(cols, i), ...]``) -- or None when runs must apply
+        record by record: no executor, a serial executor, or soft-state
+        leases armed (lease touches and reinstatement probes are
+        per-record server reactions the kernel does not model; lease
+        runs are fault-injection runs, whose loss/reliability layers
+        already force the transport's per-message replay path anyway).
+        """
+        ex = self._executor
+        if ex is None or not ex.parallel or self._leases_on:
+            return None
+        return ex.apply_result_run
+
     # ---------------------------------------------------------- load
 
     @property
@@ -371,13 +444,31 @@ class Coordinator:
         return sum(shard.load.ops for shard in self.shards)
 
     def reset_load(self) -> tuple[float, int]:
-        """Return and clear the aggregated (seconds, ops) load counters."""
+        """Return and clear the aggregated (seconds, ops) load counters.
+
+        The returned seconds are *aggregate shard-CPU seconds* -- the sum
+        over shards, which double-counts work that ran concurrently under
+        a parallel executor.  As a side effect this also computes the
+        *critical-path* seconds of the window (``last_critical_seconds``
+        / ``total_critical_seconds``): the aggregate with each parallel
+        region's summed worker time replaced by its slowest worker, i.e.
+        the modeled wall time on enough idle cores.  Without a parallel
+        executor the two are equal.
+        """
         seconds = 0.0
         ops = 0
         for shard in self.shards:
             shard_seconds, shard_ops = shard.reset_load()
             seconds += shard_seconds
             ops += shard_ops
+        ex = self._executor
+        if ex is not None and ex.parallel:
+            par_total, span = ex.drain_span()
+            critical = max(0.0, seconds - par_total) + span
+        else:
+            critical = seconds
+        self.last_critical_seconds = critical
+        self.total_critical_seconds += critical
         return seconds, ops
 
     def shard_loads(self) -> list[dict]:

@@ -1,0 +1,513 @@
+"""Parallel shard executors: fork / per-shard region / deterministic barrier.
+
+With ``MobiEyesConfig(shard_workers=N)`` the coordinator hands the
+per-step shard work -- columnar result-report ingestion, lease-expiry
+scans, static-beacon planning -- to one of the executors in this module
+instead of driving every shard in the calling thread.  Each parallel
+region follows the same shape:
+
+1. **fork**: the coordinator *splits* the step's work into independent
+   per-shard units in the calling thread, using its directories
+   (``owner_of``, the shared report-epoch map) while they are frozen --
+   nothing inside a parallel region may mutate them.
+2. **per-shard region**: one worker applies one shard's unit.  Workers
+   touch only their own shard's tables, so no locks are needed; every
+   externally visible effect (a result-set delta, a planned broadcast)
+   is *recorded* into a per-shard outbox together with a global
+   ``order`` stamp assigned during the split.
+3. **deterministic barrier**: the coordinator joins all workers, then
+   merges the outboxes by ``order`` (for result deltas: record-major,
+   pair-minor append order -- exactly the serial apply order) and
+   replays the merged effects (subscriber notifications, broadcasts)
+   in the calling thread.
+
+Because the split order is the serial processing order and every
+cross-shard effect is deferred to the ordered merge, result hashes,
+message counts, message sizes, and energy ledgers are bit-identical to
+the serial coordinator at any worker count, on both engines, under
+modeled latency.  (Under an active loss model or the reliability layer
+the transport replays reports per logical message and the batch kernel
+never engages, so fault-injection runs are trivially identical too.)
+
+Three executors:
+
+- :class:`SerialShardExecutor` (``shard_workers == 0``): the do-nothing
+  default; the coordinator keeps its historical serial loops.
+- :class:`ThreadShardExecutor` (``shard_executor="thread"``): a shared
+  -memory thread pool.  Workers mutate the authoritative shard tables
+  directly (safe: one worker per shard, effects replayed at the
+  barrier).
+- :class:`ProcessShardExecutor` (``shard_executor="process"``): fork
+  -spawned workers holding a picklable per-shard *result mirror*
+  (``qid -> member set``), kept in sync through a cross-shard mailbox of
+  directory deltas (``note_added`` / ``note_removed``, fired by the
+  coordinator's registry callbacks on install, removal, and focal
+  migration).  Workers compute the applied deltas against their
+  mirrors; the parent replays them onto the authoritative tables at the
+  barrier.  Falls back to the thread pool where ``fork`` is
+  unavailable.
+
+Executors also account the *critical path* of the parallel regions:
+``drain_span()`` returns ``(par_total, span)`` -- the summed worker
+seconds and the summed per-barrier maxima -- so the coordinator can
+report ``critical = aggregate - par_total + span`` next to the
+aggregate shard-CPU seconds (which double-count concurrent work).
+Worker regions are timed with per-thread / per-process **CPU clocks**
+(``time.thread_time`` / ``time.process_time``), not wall clocks: on a
+GIL interpreter (or an oversubscribed host) a worker's wall time
+includes the other workers' turns, which would inflate the span to
+roughly the whole region and make the critical path meaningless.  CPU
+time measures each shard's actual work, so the span is the heaviest
+shard's work -- the floor a host with enough idle cores can reach.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter, process_time, thread_time
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coordinator import Coordinator
+    from repro.core.query import QueryId
+    from repro.core.tables import SqtEntry
+    from repro.mobility.model import ObjectId
+
+# One work unit of the result kernel: record ``i`` of a columnar report
+# batch (a ReportBuffer or an UplinkReportBatch -- both expose the same
+# column layout).
+ResultUnit = "tuple[object, int]"
+# One routed result pair: (global order stamp, oid, qid, membership flag).
+ResultPair = "tuple[int, ObjectId, QueryId, bool]"
+
+
+class SerialShardExecutor:
+    """The ``shard_workers == 0`` executor: no pool, no parallel regions.
+
+    The coordinator checks :attr:`parallel` and keeps its serial loops,
+    so binding this executor changes nothing observable.  It still hosts
+    the shared *split* and *plan* helpers the pooled executors build on.
+    """
+
+    parallel = False
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = workers
+        self.coordinator: "Coordinator | None" = None
+        self.shards: Sequence = ()
+        # Critical-path accounting over the parallel regions since the
+        # last drain: summed worker seconds, and summed per-barrier maxima.
+        self._par_total = 0.0
+        self._span = 0.0
+
+    def bind(self, coordinator: "Coordinator") -> None:
+        """Attach to a coordinator (called by ``attach_executor``)."""
+        self.coordinator = coordinator
+        self.shards = coordinator.shards
+
+    # ------------------------------------------------------------ split
+
+    def split_result_run(self, run: "list[ResultUnit]") -> "list[list[ResultPair]]":
+        """Route a run of buffered result records into per-shard buckets.
+
+        Runs in the calling thread against the coordinator's frozen
+        directories.  Each (qid, flag) pair is stamped with a global
+        ``order`` counter advancing in record-major, pair-minor append
+        order -- the exact order the serial server would have applied
+        (and notified) it -- and lands in the bucket of the shard owning
+        the qid.  The split IS the cross-shard mailbox: a record arriving
+        at shard A's endpoint with pairs owned by shard B simply
+        contributes to B's bucket.  Pairs of removed queries (no owner)
+        are dropped, as the serial path drops them; a record staler than
+        its sender's report epoch is skipped whole.
+        """
+        coordinator = self.coordinator
+        epochs = coordinator._report_epochs
+        owner_of = coordinator.owner_of
+        buckets: list[list] = [[] for _ in self.shards]
+        order = 0
+        for cols, i in run:
+            oid = cols.oid[i]
+            lo = cols.qid_lo[i]
+            hi = cols.qid_hi[i]
+            if cols.epoch[i] < epochs.get(oid, 0):
+                order += hi - lo
+                continue
+            qid_flat = cols.qid_flat
+            flag_flat = cols.flag_flat
+            for k in range(lo, hi):
+                owner = owner_of.get(qid_flat[k])
+                if owner is not None:
+                    buckets[owner].append((order, oid, qid_flat[k], flag_flat[k]))
+                order += 1
+        return buckets
+
+    def merge_applied(self, applied_lists: "Iterable[list]") -> None:
+        """Barrier half of the result kernel: fire subscriber callbacks
+        in global ``order`` -- the serial notification order -- by
+        merge-sorting the per-shard applied outboxes (each already
+        order-ascending)."""
+        coordinator = self.coordinator
+        if not coordinator._subscribers:
+            return
+        notify = self.shards[0].registry.notify  # the subscriber book is shared
+        for _order, qid, oid, entered in heapq.merge(*applied_lists):
+            notify(qid, oid, entered)
+
+    # --------------------------------------------------- per-phase hooks
+
+    def apply_result_run(self, run: "list[ResultUnit]") -> None:  # pragma: no cover
+        raise NotImplementedError("the serial executor never receives result runs")
+
+    def scan_expired(self, step: int) -> "list[list[ObjectId]]":
+        """Per-shard expired-lease scans (pure reads; serial fallback)."""
+        return [list(shard.tracker.expired(step)) for shard in self.shards]
+
+    def plan_static_beacons(self) -> "list[list[SqtEntry]]":
+        """Per-shard static-query gathers, charged like the serial
+        ``beacon_static_queries`` timed section (serial fallback)."""
+        out = []
+        for shard in self.shards:
+            out.append(self._gather_static(shard))
+        return out
+
+    @staticmethod
+    def _gather_static(shard) -> "list[SqtEntry]":
+        t0 = perf_counter()
+        entries = [e for e in shard.registry.entries() if e.is_static]
+        shard.load.ops += len(entries)
+        shard.load.seconds += perf_counter() - t0
+        return entries
+
+    @staticmethod
+    def _gather_static_pooled(shard):
+        """Worker-side gather: charged and spanned in thread CPU time."""
+        t0 = thread_time()
+        entries = [e for e in shard.registry.entries() if e.is_static]
+        elapsed = thread_time() - t0
+        shard.load.ops += len(entries)
+        shard.load.seconds += elapsed
+        return entries, elapsed
+
+    # ------------------------------------------------- mailbox / lifecycle
+
+    def note_added(self, sid: int, entry: "SqtEntry") -> None:
+        """Directory hook: a shard took ownership of an SQT entry."""
+
+    def note_removed(self, sid: int, qid: "QueryId") -> None:
+        """Directory hook: a shard gave up ownership of an SQT entry."""
+
+    def drain_span(self) -> tuple[float, float]:
+        """``(summed worker seconds, summed per-barrier maxima)`` across
+        the parallel regions since the last drain; zeroed for the next
+        measurement window."""
+        out = (self._par_total, self._span)
+        self._par_total = 0.0
+        self._span = 0.0
+        return out
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class ThreadShardExecutor(SerialShardExecutor):
+    """Shared-memory worker pool over the authoritative shard tables."""
+
+    parallel = True
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def bind(self, coordinator: "Coordinator") -> None:
+        super().bind(coordinator)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.workers), thread_name_prefix="shard-worker"
+        )
+
+    # ------------------------------------------------------ result kernel
+
+    def apply_result_run(self, run: "list[ResultUnit]") -> None:
+        """Fork -> apply each shard's bucket on the pool -> barrier."""
+        buckets = self.split_result_run(run)
+        jobs = [(sid, bucket) for sid, bucket in enumerate(buckets) if bucket]
+        if not jobs:
+            return
+        outcomes = list(
+            self._pool.map(lambda job: self._apply_shard(job[0], job[1]), jobs)
+        )
+        elapsed = [e for _applied, e in outcomes]
+        self._par_total += sum(elapsed)
+        self._span += max(elapsed)
+        self.merge_applied([applied for applied, _e in outcomes])
+
+    def _apply_shard(self, sid: int, bucket: "list[ResultPair]"):
+        """Per-shard parallel region: apply one bucket of routed pairs.
+
+        Mirrors ``MobiEyesServer._apply_result_record`` pair by pair --
+        same skip rules (removed queries were dropped at the split,
+        suspended entries skipped here), same add/discard decisions
+        (pairs of one qid are bucket-ordered, so the membership state
+        each pair observes is the serial one), same ``ops`` count per
+        live pair.  The applied deltas go to the outbox with their order
+        stamps; the thread CPU time is charged to the shard that owns
+        the qids (the serial path charges the endpoint shard -- the
+        aggregate is the same, the per-shard attribution reflects where
+        the work now runs).
+        """
+        shard = self.shards[sid]
+        t0 = thread_time()
+        entries = shard.registry.sqt._entries
+        applied: list = []
+        ops = 0
+        for order, oid, qid, flag in bucket:
+            entry = entries.get(qid)
+            if entry is None or entry.suspended:
+                continue
+            result = entry.result
+            if flag:
+                if oid not in result:
+                    result.add(oid)
+                    applied.append((order, qid, oid, True))
+            else:
+                if oid in result:
+                    result.discard(oid)
+                    applied.append((order, qid, oid, False))
+            ops += 1
+        elapsed = thread_time() - t0
+        shard.load.seconds += elapsed
+        shard.load.ops += ops
+        return applied, elapsed
+
+    # -------------------------------------------------- pooled pure scans
+
+    def scan_expired(self, step: int) -> "list[list[ObjectId]]":
+        """Pooled expired-lease scans: pure reads over disjoint trackers,
+        joined before any suspension runs (the serial loop's interleaved
+        suspensions cannot influence a later shard's scan -- suspension
+        broadcasts trigger no uplinks -- so scan-all-then-suspend is
+        order-identical)."""
+        return list(
+            self._pool.map(
+                lambda shard: list(shard.tracker.expired(step)), self.shards
+            )
+        )
+
+    def plan_static_beacons(self) -> "list[list[SqtEntry]]":
+        """Pooled static-query gathers (reads + local load charges)."""
+        outcomes = list(self._pool.map(self._gather_static_pooled, self.shards))
+        elapsed = [e for _entries, e in outcomes]
+        self._par_total += sum(elapsed)
+        self._span += max(elapsed)
+        return [entries for entries, _e in outcomes]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _process_worker(conn, shard_ids: "list[int]") -> None:
+    """Worker-process main loop (fork target).
+
+    Holds one result mirror (``qid -> member set``) per assigned shard,
+    kept current through the sync ops shipped ahead of every bucket.
+    Each task is ``[(sid, sync_ops, bucket), ...]``; the reply is
+    ``[(sid, applied, ops, elapsed), ...]`` -- the deltas the parent
+    replays onto the authoritative tables at the barrier.
+    """
+    mirrors: dict[int, dict] = {sid: {} for sid in shard_ids}
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                break
+            reply = []
+            for sid, sync_ops, bucket in task:
+                mirror = mirrors[sid]
+                for op in sync_ops:
+                    if op[0] == "add":
+                        mirror[op[1]] = set(op[2])
+                    else:
+                        mirror.pop(op[1], None)
+                t0 = process_time()
+                applied = []
+                ops = 0
+                for order, oid, qid, flag in bucket:
+                    result = mirror.get(qid)
+                    if result is None:
+                        continue
+                    if flag:
+                        if oid not in result:
+                            result.add(oid)
+                            applied.append((order, qid, oid, True))
+                    else:
+                        if oid in result:
+                            result.discard(oid)
+                            applied.append((order, qid, oid, False))
+                    ops += 1
+                reply.append((sid, applied, ops, process_time() - t0))
+            conn.send(reply)
+    except EOFError:  # parent died without a shutdown sentinel
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessShardExecutor(SerialShardExecutor):
+    """Fork-spawned worker pool over picklable per-shard result mirrors.
+
+    Workers spawn lazily at the first result run, seeded with a full
+    snapshot of every shard's result sets; from then on the coordinator's
+    registry callbacks feed ownership deltas into per-shard mailboxes
+    (:meth:`note_added` / :meth:`note_removed`) that ship with the next
+    task, so a mirror always equals the authoritative tables when its
+    bucket applies.  Lease-expiry scans and beacon planning stay in the
+    parent (the trackers and registries live here); only the result
+    kernel -- the per-step volume -- crosses the process boundary.
+    """
+
+    parallel = True
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._ctx = multiprocessing.get_context("fork")
+        self._conns: list = []
+        self._procs: list = []
+        self._pending: list[list] = []
+        self._spawned = False
+        self._finalizer = None
+
+    def bind(self, coordinator: "Coordinator") -> None:
+        super().bind(coordinator)
+        self._pending = [[] for _ in self.shards]
+
+    # ----------------------------------------------------------- mailbox
+
+    def note_added(self, sid: int, entry: "SqtEntry") -> None:
+        if self._spawned:
+            self._pending[sid].append(("add", entry.qid, tuple(entry.result)))
+
+    def note_removed(self, sid: int, qid: "QueryId") -> None:
+        if self._spawned:
+            self._pending[sid].append(("drop", qid))
+
+    # ------------------------------------------------------------- spawn
+
+    def _ensure_spawned(self) -> None:
+        if self._spawned:
+            return
+        workers = max(1, min(self.workers, len(self.shards)))
+        assignments: list[list[int]] = [[] for _ in range(workers)]
+        for sid in range(len(self.shards)):
+            assignments[sid % workers].append(sid)
+        for shard_ids in assignments:
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_process_worker, args=(child_conn, shard_ids), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._spawned = True
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._conns, self._procs
+        )
+        # Seed the mirrors: a full ownership snapshot per shard, shipped
+        # as ordinary sync ops ahead of the first buckets.
+        for sid, shard in enumerate(self.shards):
+            pending = self._pending[sid]
+            for entry in shard.registry.entries():
+                pending.append(("add", entry.qid, tuple(entry.result)))
+
+    # ------------------------------------------------------ result kernel
+
+    def apply_result_run(self, run: "list[ResultUnit]") -> None:
+        """Fork -> mirrored per-shard regions -> replayed barrier."""
+        buckets = self.split_result_run(run)
+        self._ensure_spawned()
+        workers = len(self._conns)
+        tasks: list[list] = [[] for _ in range(workers)]
+        for sid, bucket in enumerate(buckets):
+            pending = self._pending[sid]
+            if pending or bucket:
+                tasks[sid % workers].append((sid, pending, bucket))
+                if pending:
+                    self._pending[sid] = []
+        busy = [w for w, task in enumerate(tasks) if task]
+        for w in busy:
+            self._conns[w].send(tasks[w])
+        applied_by_sid: dict[int, list] = {}
+        worker_elapsed = []
+        for w in busy:
+            spent = 0.0
+            for sid, applied, ops, elapsed in self._conns[w].recv():
+                applied_by_sid[sid] = applied
+                shard = self.shards[sid]
+                shard.load.seconds += elapsed
+                shard.load.ops += ops
+                spent += elapsed
+            worker_elapsed.append(spent)
+        if worker_elapsed:
+            self._par_total += sum(worker_elapsed)
+            self._span += max(worker_elapsed)
+        # Barrier: replay the applied deltas onto the authoritative
+        # tables in shard order (deltas of distinct shards touch distinct
+        # qids, so shard order is immaterial to the outcome), then notify
+        # in merged global order.
+        for sid in sorted(applied_by_sid):
+            entries = self.shards[sid].registry.sqt._entries
+            for _order, qid, oid, flag in applied_by_sid[sid]:
+                entry = entries.get(qid)
+                if entry is None:
+                    continue
+                if flag:
+                    entry.result.add(oid)
+                else:
+                    entry.result.discard(oid)
+        self.merge_applied(applied_by_sid.values())
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._conns = []
+        self._procs = []
+        self._spawned = False
+
+
+def _shutdown_workers(conns, procs) -> None:
+    """Tell every worker to exit and reap it (finalizer-safe)."""
+    for conn in conns:
+        try:
+            conn.send(None)
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - stuck worker backstop
+            proc.terminate()
+            proc.join(timeout=1)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def make_executor(config) -> SerialShardExecutor:
+    """Build the executor selected by ``shard_workers`` / ``shard_executor``."""
+    if config.shard_workers <= 0:
+        return SerialShardExecutor()
+    if config.shard_executor == "process":
+        if "fork" in multiprocessing.get_all_start_methods():
+            return ProcessShardExecutor(config.shard_workers)
+        # No fork on this platform: the mirror protocol needs
+        # copy-on-write spawn semantics, so degrade to the thread pool
+        # (identical results -- the executors are differentially tested).
+        return ThreadShardExecutor(config.shard_workers)
+    return ThreadShardExecutor(config.shard_workers)

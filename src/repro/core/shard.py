@@ -24,6 +24,14 @@ uplink sink and dispatches to shards by cell.  Under a nonzero
 drain from the transport queue into the coordinator, which routes to the
 owning shard within the same delivery slot -- shard count never adds
 hops, so a 1-, 2-, or 4-shard run sees identical message timing.
+
+Under a parallel shard executor (``MobiEyesConfig(shard_workers=N)``)
+a shard additionally serves as the unit of parallelism: inside a
+parallel region exactly one worker touches this shard's tables (SQT
+result sets, lease tracker, registry), so the handlers need no locks;
+anything cross-shard happens in the coordinator's fork (the split) or
+at the barrier (the ordered merge) -- see
+:mod:`repro.core.executor`.
 """
 
 from __future__ import annotations

@@ -90,6 +90,13 @@ class MobiEyesSystem:
             from repro.core.coordinator import Coordinator
 
             self.server = Coordinator(self.grid, self.transport, config)
+            if config.shard_workers > 0:
+                from repro.core.executor import make_executor
+
+                # Parallel shard executor: per-step shard work runs as
+                # fork -> per-shard region -> deterministic barrier
+                # (bit-identical to the serial loops; see core/executor).
+                self.server.attach_executor(make_executor(config))
         else:
             self.server = MobiEyesServer(self.grid, self.transport, config)
         # A custom mobility model (e.g. random waypoint) may be supplied;
@@ -313,8 +320,19 @@ class MobiEyesSystem:
         if buf.kind:
             self.transport.flush_reports(buf)
 
+    def close(self) -> None:
+        """Release background resources (a parallel executor's worker
+        pool, when one is attached).  Safe to call more than once; a
+        system never closed is reaped by the executor's finalizer."""
+        close_executor = getattr(self.server, "close_executor", None)
+        if close_executor is not None:
+            close_executor()
+
     def _measurement_phase(self, clock: SimulationClock) -> None:
         server_seconds, server_ops = self.server.reset_load()
+        # Coordinator only: the critical-path view computed by reset_load
+        # (equals the aggregate without a parallel executor).
+        server_critical = getattr(self.server, "last_critical_seconds", server_seconds)
         mark = self.ledger.snapshot()
         delta = self._ledger_mark.delta(mark)
         self._ledger_mark = mark
@@ -365,6 +383,7 @@ class MobiEyesSystem:
             StepStats(
                 step=clock.step,
                 server_seconds=server_seconds,
+                server_critical_seconds=server_critical,
                 server_ops=server_ops,
                 uplink_messages=delta.uplink_count,
                 downlink_messages=delta.downlink_count,

@@ -75,6 +75,9 @@ class BenchScenario:
     uplink_latency: int = 0
     downlink_latency: int = 0
     latency_jitter: int = 0
+    # Engines this scenario runs (the xl preset is vectorized-only: the
+    # reference engine cannot finish 100k objects in smoke time).
+    engines: tuple[str, ...] = ENGINES
 
 
 def dense_params(scale: float = 1.0) -> SimulationParameters:
@@ -88,15 +91,51 @@ def dense_params(scale: float = 1.0) -> SimulationParameters:
     return params.scaled(scale) if scale != 1.0 else params
 
 
+def xl_params() -> SimulationParameters:
+    """The ``--scale xl`` workload: 100,000 objects, 5,000 queries.
+
+    Ten times the paper's area and population (densities preserved), with
+    the query count capped at 5,000 -- the ROADMAP's "city-scale" stress
+    point.  Only the vectorized engine (and, in useful time, the parallel
+    shard executor) gets through it.
+    """
+    params = paper_defaults().scaled(10.0)
+    return replace(params, num_queries=5_000)
+
+
 def scenario_matrix(
-    smoke: bool = False, latency: int = 0, jitter: int = 0
+    smoke: bool = False, latency: int = 0, jitter: int = 0, preset: str = "default"
 ) -> list[BenchScenario]:
     """The fixed scenarios a bench run executes, in order.
 
     ``latency`` applies the same per-link delay to the uplink and the
     downlink of every scenario (``jitter`` adds the seeded random extra),
     exercising the deferred delivery pipeline under benchmark load.
+
+    ``preset="xl"`` replaces the matrix with the single 100k-object
+    :func:`xl_params` scenario (vectorized-only, a handful of measured
+    steps); it keeps its fixed size regardless of ``smoke``.
     """
+    if preset == "xl":
+        return [
+            BenchScenario(
+                name="xl",
+                description=(
+                    "100k objects / 5k queries (paper x10, densities "
+                    "preserved): the parallel-executor stress scenario"
+                ),
+                params=xl_params(),
+                steps=4,
+                warmup=1,
+                dead_reckoning_threshold=1.0,
+                uplink_latency=latency,
+                downlink_latency=latency,
+                latency_jitter=jitter,
+                engines=("vectorized",),
+            )
+        ]
+    if preset != "default":
+        raise ValueError(f"unknown scenario preset {preset!r}")
     if smoke:
         scale = bench_scale_from_env(default=SMOKE_SCALE)
         steps, warmup = SMOKE_STEPS, SMOKE_WARMUP
@@ -173,7 +212,13 @@ def result_hash(system: MobiEyesSystem) -> str:
     return hashlib.sha256(repr(payload).encode("ascii")).hexdigest()
 
 
-def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
+def run_engine(
+    scenario: BenchScenario,
+    engine: str,
+    shards: int = 1,
+    workers: int = 0,
+    executor: str = "thread",
+) -> dict:
     """Build, warm up, and time one engine on a scenario's workload."""
     params = scenario.params
     rng = SimulationRng(params.seed)
@@ -188,6 +233,8 @@ def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
         safe_period=scenario.safe_period,
         engine=engine,
         shards=shards,
+        shard_workers=workers if shards > 1 else 0,
+        shard_executor=executor,
         uplink_latency_steps=scenario.uplink_latency,
         downlink_latency_steps=scenario.downlink_latency,
         latency_jitter_steps=scenario.latency_jitter,
@@ -216,17 +263,30 @@ def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
     system.run(scenario.steps)
     wall_seconds = time.perf_counter() - started
 
+    # Server seconds over the measured window, both ways: the aggregate
+    # sums per-shard CPU time (double-counting concurrent work under a
+    # parallel executor), the critical path credits each parallel region
+    # with its slowest worker only -- the modeled wall time on idle cores.
+    measured = system.metrics._measured()
+    server_aggregate = sum(s.server_seconds for s in measured)
+    server_critical = sum(s.server_critical_seconds for s in measured)
+
     report = {
         "engine": engine,
+        "workers": workers if shards > 1 else 0,
+        "executor": executor if shards > 1 and workers > 0 else None,
         "build_seconds": round(build_seconds, 4),
         "warmup_seconds": round(warmup_seconds, 4),
         "wall_seconds": round(wall_seconds, 4),
         "steps_per_sec": round(scenario.steps / wall_seconds, 4),
         "ms_per_step": round(1000.0 * wall_seconds / scenario.steps, 3),
+        "server_aggregate_seconds": round(server_aggregate, 4),
+        "server_critical_seconds": round(server_critical, 4),
         "phase_seconds": {name: round(spent, 4) for name, spent in phase_seconds.items()},
         "result_hash": result_hash(system),
         "uplink_messages": system.ledger.uplink_count,
         "downlink_messages": system.ledger.downlink_count,
+        "energy_joules": round(system.ledger.total_energy(), 6),
         "pending_messages_at_end": system.transport.pending_count(),
     }
     shard_loads = getattr(system.server, "shard_loads", None)
@@ -235,28 +295,54 @@ def run_engine(scenario: BenchScenario, engine: str, shards: int = 1) -> dict:
             {**row, "seconds": round(row["seconds"], 4)} for row in shard_loads()
         ]
         report["load_balance"] = load_balance(report["shard_loads"])
+    system.close()
     return report
 
 
 def load_balance(shard_loads: list[dict]) -> dict:
-    """Balance summary over the per-shard lifetime ``ops`` counters.
+    """Balance summary over the per-shard lifetime load counters.
 
-    ``imbalance`` is max/mean: 1.0 is a perfect split, ``num_shards`` is
-    the degenerate case of all load on one shard.
+    ``imbalance`` is max/mean over the deterministic ``ops`` counters:
+    1.0 is a perfect split, ``num_shards`` is the degenerate case of all
+    load on one shard.  The seconds-based view reports the same split in
+    wall time: ``aggregate_seconds`` sums every shard (double-counting
+    concurrent work), ``critical_seconds`` is the slowest shard -- the
+    floor any parallel schedule of this partitioning can reach -- and
+    ``imbalance_seconds`` is the critical-path max/mean.
     """
     ops = [row["ops"] for row in shard_loads]
+    seconds = [row["seconds"] for row in shard_loads]
     mean_ops = sum(ops) / max(1, len(ops))
+    mean_seconds = sum(seconds) / max(1, len(seconds))
     return {
         "num_shards": len(shard_loads),
         "min_ops": min(ops),
         "max_ops": max(ops),
         "mean_ops": round(mean_ops, 1),
         "imbalance": round(max(ops) / mean_ops, 3) if mean_ops else 1.0,
+        "aggregate_seconds": round(sum(seconds), 4),
+        "critical_seconds": round(max(seconds), 4),
+        "imbalance_seconds": round(max(seconds) / mean_seconds, 3) if mean_seconds else 1.0,
     }
 
 
-def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
-    """Run one scenario through every available engine."""
+def run_scenario(
+    scenario: BenchScenario,
+    log=print,
+    shards: int = 1,
+    workers: int = 0,
+    executor: str = "thread",
+) -> dict:
+    """Run one scenario through every available engine.
+
+    With ``workers > 0`` (and ``shards > 1``) each engine runs twice --
+    serial coordinator, then pooled -- and the row gains the parallel
+    columns: ``parallel_speedup`` (serial aggregate server seconds over
+    pooled critical-path seconds -- the span speedup a multicore host
+    realizes as wall time), ``parallel_wall_speedup`` (pooled over serial
+    steps/sec on *this* host), and ``parallel_match`` (bit-identity of
+    result hash, message counts, and energy).
+    """
     params = scenario.params
     row: dict = {
         "name": scenario.name,
@@ -274,6 +360,8 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
         "safe_period": scenario.safe_period,
         "dead_reckoning_threshold": scenario.dead_reckoning_threshold,
         "shards": shards,
+        "workers": workers if shards > 1 else 0,
+        "executor": executor if shards > 1 and workers > 0 else None,
         "latency": {
             "uplink_steps": scenario.uplink_latency,
             "downlink_steps": scenario.downlink_latency,
@@ -281,7 +369,9 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
         },
         "engines": {},
     }
-    for engine in ENGINES:
+    pooled = shards > 1 and workers > 0
+    parallel_speedups: dict[str, float] = {}
+    for engine in scenario.engines:
         if engine == "vectorized" and not numpy_available():
             row["engines"][engine] = {"skipped": "numpy not installed"}
             log(f"  {scenario.name}/{engine}: skipped (numpy not installed)")
@@ -290,19 +380,64 @@ def run_scenario(scenario: BenchScenario, log=print, shards: int = 1) -> dict:
             f"  {scenario.name}/{engine}: {params.num_objects} objects, "
             f"{params.num_queries} queries, {scenario.steps} steps ..."
         )
-        result = run_engine(scenario, engine, shards=shards)
+        serial = None
+        if pooled:
+            # The parallel baseline: same shard count, serial coordinator.
+            serial = run_engine(scenario, engine, shards=shards)
+        result = run_engine(
+            scenario, engine, shards=shards, workers=workers, executor=executor
+        )
         row["engines"][engine] = result
         log(
             f"  {scenario.name}/{engine}: {result['steps_per_sec']:.2f} steps/s "
             f"({result['ms_per_step']:.1f} ms/step)"
         )
+        if serial is not None:
+            critical = result.get("server_critical_seconds") or 0.0
+            aggregate = serial.get("server_aggregate_seconds") or 0.0
+            parallel = {
+                "serial_steps_per_sec": serial["steps_per_sec"],
+                "serial_server_aggregate_seconds": serial["server_aggregate_seconds"],
+                "parallel_match": (
+                    result["result_hash"] == serial["result_hash"]
+                    and result["uplink_messages"] == serial["uplink_messages"]
+                    and result["downlink_messages"] == serial["downlink_messages"]
+                    and result["energy_joules"] == serial["energy_joules"]
+                ),
+            }
+            if critical > 0 and aggregate > 0:
+                parallel["parallel_speedup"] = round(aggregate / critical, 3)
+                parallel_speedups[engine] = parallel["parallel_speedup"]
+            if serial["steps_per_sec"] > 0:
+                parallel["parallel_wall_speedup"] = round(
+                    result["steps_per_sec"] / serial["steps_per_sec"], 3
+                )
+            result["parallel"] = parallel
+            match = "bit-identical" if parallel["parallel_match"] else "DIVERGED"
+            log(
+                f"  {scenario.name}/{engine}: parallel x{workers} {executor} vs serial: "
+                f"span speedup {parallel.get('parallel_speedup', 'n/a')}x, "
+                f"wall {parallel.get('parallel_wall_speedup', 'n/a')}x ({match})"
+            )
         balance = result.get("load_balance")
         if balance is not None:
             log(
                 f"  {scenario.name}/{engine}: {balance['num_shards']} shards, "
                 f"ops {balance['min_ops']}..{balance['max_ops']} "
-                f"(imbalance {balance['imbalance']:.3f}x)"
+                f"(imbalance {balance['imbalance']:.3f}x, "
+                f"seconds {balance['imbalance_seconds']:.3f}x)"
             )
+    if parallel_speedups:
+        # The row-level column prefers the vectorized engine (the one the
+        # CI gate reads); the per-engine values stay under engines.*.
+        row["parallel_speedup"] = parallel_speedups.get(
+            "vectorized", next(iter(parallel_speedups.values()))
+        )
+        row["parallel_match"] = all(
+            result.get("parallel", {}).get("parallel_match", True)
+            for result in row["engines"].values()
+            if "skipped" not in result
+        )
     ref = row["engines"].get("reference", {})
     vec = row["engines"].get("vectorized", {})
     if "steps_per_sec" in ref and "steps_per_sec" in vec:
@@ -347,11 +482,13 @@ def compare_reports(
     baseline recorded under different knobs silently gates nothing.
     """
     failures: list[str] = []
-    # Reports written before the shard/latency knobs existed lack the
-    # keys; they were all single-shard, zero-latency runs.
+    # Reports written before the shard/latency/workers knobs existed lack
+    # the keys; they were all single-shard, zero-latency, serial runs.
     if new.get("mode") != baseline.get("mode") or (new.get("shards") or 1) != (
         baseline.get("shards") or 1
     ):
+        return failures
+    if (new.get("workers") or 0) != (baseline.get("workers") or 0):
         return failures
     baseline_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
     for row in new.get("scenarios", []):
@@ -414,6 +551,9 @@ def run_bench(
     jitter: int = 0,
     compare: str | Path | None = None,
     compare_threshold: float = 0.2,
+    workers: int = 0,
+    executor: str = "thread",
+    scale: str = "default",
 ) -> Path:
     """Run the full matrix and write ``BENCH_<tag>.json``; returns the path.
 
@@ -430,10 +570,12 @@ def run_bench(
     baseline = None
     if compare is not None:
         baseline = json.loads(Path(compare).read_text(encoding="ascii"))
-    scenarios = scenario_matrix(smoke=smoke, latency=latency, jitter=jitter)
+    scenarios = scenario_matrix(smoke=smoke, latency=latency, jitter=jitter, preset=scale)
     log(
         f"bench: {len(scenarios)} scenario(s), mode={'smoke' if smoke else 'full'}"
+        + (f", scale={scale}" if scale != "default" else "")
         + (f", shards={shards}" if shards > 1 else "")
+        + (f", workers={workers} ({executor})" if workers and shards > 1 else "")
         + (f", latency={latency}" if latency else "")
         + (f", jitter={jitter}" if jitter else "")
     )
@@ -443,9 +585,17 @@ def run_bench(
         "python": sys.version.split()[0],
         "numpy_available": numpy_available(),
         "shards": shards,
+        "workers": workers if shards > 1 else 0,
+        "executor": executor if shards > 1 and workers > 0 else None,
+        "scale": scale,
         "latency": {"uplink_steps": latency, "downlink_steps": latency, "jitter_steps": jitter},
         "created_unix": int(time.time()),
-        "scenarios": [run_scenario(scenario, log=log, shards=shards) for scenario in scenarios],
+        "scenarios": [
+            run_scenario(
+                scenario, log=log, shards=shards, workers=workers, executor=executor
+            )
+            for scenario in scenarios
+        ],
     }
     path = dest / f"BENCH_{tag}.json"
     path.write_text(json.dumps(report, indent=2) + "\n", encoding="ascii")
@@ -453,6 +603,12 @@ def run_bench(
         if "speedup" in row:
             match = "results match" if row["results_match"] else "RESULTS DIFFER"
             log(f"  {row['name']}: vectorized {row['speedup']}x vs reference ({match})")
+        if "parallel_speedup" in row:
+            match = "bit-identical" if row["parallel_match"] else "DIVERGED"
+            log(
+                f"  {row['name']}: parallel span speedup {row['parallel_speedup']}x "
+                f"vs serial coordinator ({match})"
+            )
     log(f"bench: wrote {path}")
     if baseline is not None:
         failures = compare_reports(report, baseline, threshold=compare_threshold)

@@ -103,6 +103,8 @@ def run_chaos(
     uplink_latency: int = 0,
     downlink_latency: int = 0,
     latency_jitter: int = 0,
+    workers: int = 0,
+    executor: str = "thread",
 ) -> dict:
     """Run one chaos scenario and return the JSON-safe report."""
     params = paper_defaults().scaled(scale)
@@ -115,6 +117,8 @@ def run_chaos(
         base_station_side=params.base_station_side,
         engine=engine,
         shards=shards,
+        shard_workers=workers if shards > 1 else 0,
+        shard_executor=executor,
         uplink_latency_steps=uplink_latency,
         downlink_latency_steps=downlink_latency,
         latency_jitter_steps=latency_jitter,
@@ -228,12 +232,16 @@ def run_chaos(
 
     ledger = system.ledger
     reliability = system.transport.reliability
+    system.close()
+    if twin is not None:
+        twin.close()
     return {
         "engine": engine,
         "seed": seed,
         "steps": steps,
         "scale": scale,
         "shards": shards,
+        "workers": workers if shards > 1 else 0,
         "objects": params.num_objects,
         "queries": params.num_queries,
         "channels": {

@@ -78,18 +78,26 @@ class TestBench:
             latency=0,
             jitter=0,
             compare=None,
+            workers=0,
+            executor="thread",
+            scale="default",
         ):
             calls.update(
                 tag=tag, smoke=smoke, out_dir=out_dir, shards=shards,
                 latency=latency, jitter=jitter, compare=compare,
+                workers=workers, executor=executor, scale=scale,
             )
             return tmp_path / "BENCH_x.json"
 
         monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
-        assert main(["bench", "--smoke", "--tag", "x", "--shards", "4", "--latency", "2"]) == 0
+        assert main([
+            "bench", "--smoke", "--tag", "x", "--shards", "4",
+            "--latency", "2", "--workers", "4", "--executor", "process",
+        ]) == 0
         assert calls == {
             "tag": "x", "smoke": True, "out_dir": None, "shards": 4,
             "latency": 2, "jitter": 0, "compare": None,
+            "workers": 4, "executor": "process", "scale": "default",
         }
 
     def test_regression_gate_exit_code(self, monkeypatch, tmp_path):

@@ -95,6 +95,7 @@ def metrics_snapshot(system, include_ops=True):
         row = dataclasses.asdict(stats)
         # Wall-clock fields legitimately differ between deployments.
         row.pop("server_seconds", None)
+        row.pop("server_critical_seconds", None)
         row.pop("object_processing_seconds", None)
         if not include_ops:
             # Cross-shard focal handoffs are real extra server work the

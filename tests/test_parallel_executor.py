@@ -1,0 +1,249 @@
+"""The parallel shard executor is a pure performance feature: pooled
+execution is *bit-identical* to the serial coordinator.
+
+Every step forks into a per-shard parallel region and joins at a
+deterministic barrier; the cross-shard split happens in the calling
+thread against frozen directories and the applied outboxes merge in
+canonical record order, so results, message counts, ledger bits, and
+energy cannot depend on worker count, executor flavor, or scheduling.
+These tests enforce that across the full knob matrix:
+
+- thread executor: {2, 4} shards x {1, 2, 4} workers x latency {0, 2}
+  steps x both engines, graded step-by-step against a serial twin;
+- process executor: a smaller matrix (forked workers with mirrored
+  per-shard result state);
+- the chaos harness under a worker pool, graded against its serial run;
+- the critical-path load accounting and the bench-compare fallback for
+  baselines that predate the ``workers`` key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MobiEyesConfig, MobiEyesSystem
+from repro.fastpath import numpy_available
+from repro.sim.rng import SimulationRng
+from repro.workload import generate_workload, paper_defaults
+
+ENGINES = ["reference"] + (["vectorized"] if numpy_available() else [])
+
+
+def build(
+    engine="reference",
+    shards=2,
+    workers=0,
+    executor="thread",
+    latency=0,
+    scale=0.01,
+    seed=11,
+    thresh=1.0,
+):
+    params = dataclasses.replace(paper_defaults(), seed=seed).scaled(scale)
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        base_station_side=params.base_station_side,
+        dead_reckoning_threshold=thresh,
+        engine=engine,
+        shards=shards,
+        shard_workers=workers,
+        shard_executor=executor,
+        uplink_latency_steps=latency,
+        downlink_latency_steps=latency,
+        latency_seed=params.seed,
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+    )
+    system.install_queries(workload.query_specs)
+    return system
+
+
+def step_snapshot(system):
+    ledger = system.ledger.snapshot()
+    return (
+        sorted((qid, tuple(sorted(oids))) for qid, oids in system.results().items()),
+        ledger.uplink_count,
+        ledger.downlink_count,
+        ledger.uplink_bits,
+        ledger.downlink_bits,
+        round(system.ledger.total_energy(), 12),
+    )
+
+
+def metrics_snapshot(system):
+    rows = []
+    for stats in system.metrics.steps:
+        row = dataclasses.asdict(stats)
+        # Wall-clock fields legitimately differ between executors.
+        row.pop("server_seconds", None)
+        row.pop("server_critical_seconds", None)
+        row.pop("object_processing_seconds", None)
+        rows.append(row)
+    return rows
+
+
+def assert_pooled_equals_serial(steps=10, **kwargs):
+    pooled_kwargs = dict(kwargs)
+    serial_kwargs = dict(kwargs, workers=0)
+    serial = build(**serial_kwargs)
+    pooled = build(**pooled_kwargs)
+    try:
+        assert pooled.server._executor is not None
+        assert pooled.server._executor.parallel
+        for step in range(steps):
+            serial.step()
+            pooled.step()
+            assert step_snapshot(serial) == step_snapshot(pooled), (
+                f"pooled run diverged from serial at step {step + 1} with {kwargs}"
+            )
+        serial.check_invariants()
+        pooled.check_invariants()
+        assert metrics_snapshot(serial) == metrics_snapshot(pooled), kwargs
+    finally:
+        serial.close()
+        pooled.close()
+
+
+class TestThreadExecutorBitIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("latency", [0, 2])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_matches_serial(self, shards, workers, latency, engine):
+        assert_pooled_equals_serial(
+            shards=shards, workers=workers, latency=latency, engine=engine
+        )
+
+    def test_subscriber_callbacks_match_serial(self):
+        events = {}
+        for workers in (0, 2):
+            system = build(shards=2, workers=workers, thresh=0.0)
+            try:
+                seen = []
+                for qid in sorted(system.results())[:4]:
+                    system.subscribe(
+                        qid, lambda q, o, entered: seen.append((q, o, entered))
+                    )
+                system.run(8)
+                events[workers] = seen
+            finally:
+                system.close()
+        assert events[0] == events[2]
+        assert events[0], "scenario produced no membership events"
+
+
+class TestProcessExecutorBitIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_matches_serial(self, shards, engine):
+        assert_pooled_equals_serial(
+            shards=shards, workers=2, executor="process", engine=engine
+        )
+
+    def test_matches_serial_under_latency(self):
+        assert_pooled_equals_serial(
+            shards=2, workers=2, executor="process", latency=2
+        )
+
+
+class TestChaosUnderWorkers:
+    def test_pooled_chaos_graded_identical(self):
+        from repro.faults.chaos import run_chaos
+
+        serial = run_chaos(engine="reference", steps=20, scale=0.01, shards=2)
+        pooled = run_chaos(
+            engine="reference", steps=20, scale=0.01, shards=2, workers=2
+        )
+        assert pooled["workers"] == 2
+        assert pooled["converged"]
+        for key in ("result_hash", "message_counts", "per_step", "drops"):
+            assert pooled[key] == serial[key], key
+
+
+class TestLoadAccounting:
+    def test_critical_path_bounded_by_aggregate(self):
+        system = build(shards=2, workers=2)
+        try:
+            system.run(8)
+            coord = system.server
+            assert coord.total_critical_seconds > 0.0
+            # Aggregate shard-CPU seconds over the run.
+            total = sum(row["seconds"] for row in coord.shard_loads())
+            assert coord.total_critical_seconds <= total + 1e-9
+            # The per-step measurement surfaces the critical-path view.
+            assert any(
+                s.server_critical_seconds > 0.0 for s in system.metrics.steps
+            )
+            assert all(
+                s.server_critical_seconds <= s.server_seconds + 1e-9
+                for s in system.metrics.steps
+            )
+        finally:
+            system.close()
+
+    def test_serial_critical_equals_aggregate(self):
+        system = build(shards=2, workers=0)
+        system.run(4)
+        assert all(
+            s.server_critical_seconds == s.server_seconds
+            for s in system.metrics.steps
+        )
+
+
+class TestConfigValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            MobiEyesConfig(uod=paper_defaults().uod, shard_workers=-1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            MobiEyesConfig(uod=paper_defaults().uod, shard_executor="gpu")
+
+    def test_workers_ignored_without_shards(self):
+        # shards=1 keeps the monolithic server: no executor to attach.
+        system = build(shards=1, workers=4)
+        assert not hasattr(system.server, "_executor")
+        system.run(2)
+        system.close()
+
+
+class TestCompareFallback:
+    def test_baseline_without_workers_key_compares_as_serial(self):
+        from repro.fastpath.bench import compare_reports
+
+        zero_latency = {"uplink_steps": 0, "downlink_steps": 0, "jitter_steps": 0}
+        row = {
+            "name": "dense",
+            "latency": zero_latency,
+            "engines": {"reference": {"steps_per_sec": 100.0, "result_hash": "aa"}},
+        }
+        baseline = {"mode": "full", "scenarios": [dict(row)]}  # pre-workers artifact
+        serial_new = {"mode": "full", "workers": 0, "scenarios": [dict(row)]}
+        pooled_new = {"mode": "full", "workers": 4, "scenarios": [dict(row)]}
+        # A serial run still gates against the old artifact ...
+        slow = {
+            "mode": "full",
+            "workers": 0,
+            "scenarios": [
+                {
+                    "name": "dense",
+                    "latency": zero_latency,
+                    "engines": {
+                        "reference": {"steps_per_sec": 10.0, "result_hash": "aa"}
+                    },
+                }
+            ],
+        }
+        assert compare_reports(serial_new, baseline) == []
+        assert compare_reports(slow, baseline) != []
+        # ... while a pooled run skips it instead of raising.
+        assert compare_reports(pooled_new, baseline) == []
