@@ -159,6 +159,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor=args.executor,
             scale=args.scale,
+            checkpoint_every=args.checkpoint_every,
         )
     except BenchRegression as regression:
         print(str(regression), file=sys.stderr)
@@ -204,6 +205,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             latency_jitter=args.latency_jitter,
             workers=args.workers,
             executor=args.executor,
+            crash=args.crash,
+            checkpoint_every=args.checkpoint_every,
         )
 
     failed = False
@@ -353,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
         "phase regresses more than 25%%, or result hashes / message counts "
         "drift from the baseline",
     )
+    bench.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="snapshot the full system every N steps during the measured "
+        "window, then restore the last checkpoint and resume it to the end: "
+        "the report gains the snapshot cost and a bit-identity verdict "
+        "(exit 1 if the resumed run diverges)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     chaos = sub.add_parser(
@@ -416,6 +428,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seeded random extra delay in [0, N] steps on top of --latency",
+    )
+    chaos.add_argument(
+        "--crash",
+        action="store_true",
+        help="add a mid-run shard crash window (requires --shards >= 2): the "
+        "shard's soft state is erased, rebuilt from the last periodic "
+        "checkpoint at the window end, and recovery is graded against the "
+        "fault-free lockstep twin",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint cadence in steps for --crash recovery "
+        "(default: steps // 8, at least 2)",
     )
     chaos.add_argument("--tag", default=None, help="artifact tag (default: 'local'/'smoke')")
     chaos.add_argument(

@@ -44,6 +44,7 @@ from repro.core.messages import (
     QueryRemoveBroadcast,
     QueryUpdateBroadcast,
     ResultChangeReport,
+    ResyncDirective,
     ResyncRequest,
     ResyncResponse,
     VelocityChangeBroadcast,
@@ -480,6 +481,10 @@ class MobiEyesClient:
         elif isinstance(message, ResyncResponse):
             if message.oid == self.oid:
                 self._apply_resync(message)
+        elif isinstance(message, ResyncDirective):
+            # Server-side state was lost (a shard crashed and was rebuilt
+            # from a checkpoint); run the ordinary resync round trip.
+            self._needs_resync = True
         else:
             raise TypeError(f"unexpected downlink message {type(message).__name__}")
 

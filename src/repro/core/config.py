@@ -80,6 +80,13 @@ class MobiEyesConfig:
             ``"thread"`` (shared-memory thread pool) or ``"process"``
             (fork-spawned workers holding picklable per-shard result
             mirrors, synced through a cross-shard mailbox).
+        checkpoint_every_steps: cadence (in steps) of the system's
+            periodic full-state checkpoints (:mod:`repro.core.snapshot`).
+            ``0`` (the default) disables periodic checkpointing; explicit
+            :func:`~repro.core.snapshot.checkpoint` calls work either
+            way.  A fault schedule containing shard crash windows
+            requires a positive cadence -- recovery rebuilds the dead
+            shard from the last periodic checkpoint.
     """
 
     uod: Rect
@@ -102,6 +109,7 @@ class MobiEyesConfig:
     batch_reports: bool = True
     shard_workers: int = 0
     shard_executor: str = "thread"
+    checkpoint_every_steps: int = 0
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -130,6 +138,8 @@ class MobiEyesConfig:
             raise ValueError(
                 f"shard_executor must be 'thread' or 'process', got {self.shard_executor!r}"
             )
+        if self.checkpoint_every_steps < 0:
+            raise ValueError("checkpoint_every_steps must be non-negative")
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

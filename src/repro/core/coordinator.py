@@ -33,6 +33,7 @@ bit-identical to the monolithic server.
 
 from __future__ import annotations
 
+from copy import deepcopy as _deepcopy
 from itertools import chain
 from typing import Callable, Iterator
 
@@ -247,6 +248,116 @@ class Coordinator:
             source.tracker.evict(oid)
             target.tracker.import_state(oid, packed)
             target.load.ops += 1
+
+    # --------------------------------------------------- crash / recovery
+
+    def crash_shard(self, sid: int) -> dict:
+        """Kill shard ``sid``: all of its soft state vanishes.
+
+        Models a server process crash.  The shard's SQT entries, FOT /
+        lease / suspension records, and RQI buckets are erased; queued
+        uplink envelopes addressed to it die with it (reliable exchanges
+        stay pending client-side and retry through the normal budget).
+        The ownership directories shed the dead queries through the usual
+        registry callbacks, so surviving shards route around the hole:
+        results for dead queries resolve to ``None`` and are skipped, and
+        fresh uplinks into the dead stripe are dropped by the fault
+        injector's crash window.  Returns drop/teardown counters for the
+        chaos report.
+        """
+        shard = self.shards[sid]
+        # Discard in-flight uplinks first: routing consults the ownership
+        # directories this teardown is about to erase.
+        def addressed_to_dead(env) -> bool:
+            return env.kind in ("uplink", "rel-uplink") and (
+                self.shard_for_uplink(env.message) == sid
+            )
+
+        dropped = self.transport.discard_queued(addressed_to_dead)
+        entries = list(shard.registry.entries())
+        for entry in entries:
+            if not entry.suspended:
+                shard._rqi_remove(entry.qid, entry.mon_region)
+            shard.registry.release(entry.qid)
+        tracker = shard.tracker
+        tracked = sorted({*tracker.last_heard, *tracker.suspended, *tracker.fot.ids()})
+        for oid in tracked:
+            tracker.evict(oid)
+        # Foreign queries replicated their RQI portions into this stripe;
+        # those registrations are this shard's soft state and die too
+        # (recover_shard rebuilds them from the survivors' live entries).
+        shard.registry.rqi.clear()
+        return {
+            "shard": sid,
+            "queries_lost": len(entries),
+            "focals_lost": len(tracked),
+            "envelopes_dropped": dropped,
+        }
+
+    def recover_shard(self, sid: int, checkpoint, step: int) -> dict:
+        """Restart shard ``sid`` from the system's last checkpoint.
+
+        Rebuilds the dead shard's tables in three strokes:
+
+        1. every checkpointed SQT entry whose query id no longer exists
+           anywhere (it died with the shard) is re-adopted by ``sid`` and
+           its monitoring region re-registered across the partition;
+        2. the stripe's RQI registrations for *surviving* queries are
+           rebuilt from the live registries of the other shards (their
+           entries are fresher than the checkpoint);
+        3. FOT / suspension state of the recovered focals is re-imported
+           from the checkpoint with ``last_heard = step``, granting a
+           fresh lease so recovery itself cannot expire anyone.
+
+        The caller (the system's crash orchestration) follows up with a
+        grid-wide resync directive so clients re-pull descriptors and
+        report epochs; entries recovered here may be stale until those
+        resyncs and the objects' own reports re-converge the results --
+        the chaos twin grades exactly that window.  Returns counters for
+        the chaos report.
+        """
+        if checkpoint is None:
+            raise ValueError(
+                f"shard {sid} crash ended at step {step} with no checkpoint to "
+                "recover from (the first cadence checkpoint had not been taken)"
+            )
+        shard = self.shards[sid]
+        sections = _deepcopy(checkpoint.payload["server"])
+        recovered_queries = 0
+        recovered_focals = 0
+        for section in sections:
+            for entry in section["entries"]:
+                if entry.qid in self.owner_of:
+                    continue
+                shard.registry.add(entry)
+                if not entry.suspended:
+                    shard._rqi_add(entry.qid, entry.mon_region)
+                recovered_queries += 1
+            for oid, packed in section["tracker"]:
+                if oid in self._fot_home or oid in shard.tracker.suspended:
+                    continue
+                if not shard.registry.is_focal(oid):
+                    continue
+                entry, _heard, suspended_speed = packed
+                shard.tracker.import_state(oid, (entry, step, suspended_speed))
+                recovered_focals += 1
+        # Surviving queries whose monitoring regions span the recovered
+        # stripe: their registrations died with the shard's RQI, but the
+        # owning registries are alive -- rebuild from live state.
+        for other in self.shards:
+            if other.shard_id == sid:
+                continue
+            for entry in other.registry.entries():
+                if entry.suspended:
+                    continue
+                for owner, portion in self.partitioner.split(entry.mon_region):
+                    if owner == sid:
+                        shard.registry.register_cells(entry.qid, portion)
+        return {
+            "shard": sid,
+            "queries_recovered": recovered_queries,
+            "focals_recovered": recovered_focals,
+        }
 
     # ---------------------------------------------- shard-facing lookups
 

@@ -15,7 +15,8 @@ Downlink messages (server -> objects, broadcast or one-to-one):
     :class:`QueryInstallBroadcast`, :class:`QueryUpdateBroadcast`,
     :class:`QueryRemoveBroadcast`, :class:`VelocityChangeBroadcast`,
     :class:`FocalRoleNotification`, :class:`QueryInstallList`,
-    :class:`MotionStateRequest`, :class:`ResyncResponse`.
+    :class:`MotionStateRequest`, :class:`ResyncResponse`,
+    :class:`ResyncDirective`.
 
 :class:`Ack` flows both ways (the receiver of a reliable message
 acknowledges it to the sender).
@@ -467,6 +468,30 @@ class ResyncResponse:
         return BITS_HEADER + BITS_OID + BITS_BOOL + sum(q.bits for q in self.queries)
 
 
+@dataclass(frozen=True, slots=True)
+class ResyncDirective:
+    """Server -> monitoring region: state may have been lost; resync now.
+
+    Broadcast after a crashed server shard is rebuilt from its checkpoint:
+    any soft state the shard accumulated since that checkpoint (and every
+    uplink in flight to it) is gone, and the affected objects cannot sense
+    a *server*-side failure through carrier sensing.  Receivers simply set
+    their resync flag and run the ordinary :class:`ResyncRequest` /
+    :class:`ResyncResponse` recovery round trip.
+
+    The directive is deliberately unreliable -- it is a hint, not state.
+    An object that misses it recovers through the existing seq-gap and
+    heartbeat paths.
+    """
+
+    reliable: ClassVar[bool] = False
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER
+
+
 # --------------------------------------------------------------- both ways
 
 
@@ -508,5 +533,6 @@ DownlinkMessage = (
     | QueryInstallList
     | MotionStateRequest
     | ResyncResponse
+    | ResyncDirective
     | Ack
 )

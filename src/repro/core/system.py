@@ -31,10 +31,11 @@ from typing import Iterable, Sequence
 
 from repro.core.client import MobiEyesClient
 from repro.core.config import MobiEyesConfig
+from repro.core.messages import ResyncDirective
 from repro.core.query import QueryId, QuerySpec
 from repro.core.server import MobiEyesServer
 from repro.core.transport import SimulatedTransport
-from repro.grid import Grid
+from repro.grid import CellRange, Grid
 from repro.metrics.accuracy import exact_results, mean_result_error
 from repro.metrics.collectors import MetricsLog, StepStats
 from repro.mobility.model import MovingObject, ObjectId
@@ -128,6 +129,12 @@ class MobiEyesSystem:
         for client in self.clients.values():
             client.focal_registry = self.focal_flags
         self._fault_injector = None
+        # Crash recovery state: the most recent periodic checkpoint (the
+        # recovery basis), and the schedule's crash windows if any.
+        self._last_checkpoint = None
+        self._checkpoint_every = config.checkpoint_every_steps
+        self._checkpoints_taken = 0
+        self._crash_windows = ()
         if getattr(loss, "policy", None) is not None:
             # Fault injection: bind the injector to live positions, turn
             # on server leases, and give every client the fault policy
@@ -137,6 +144,28 @@ class MobiEyesSystem:
             self.server.enable_leases(loss.policy.lease_steps)
             for client in self.clients.values():
                 client.fault_policy = loss.policy
+            if config.shards > 1:
+                # Let crash windows drop uplinks addressed to a dead shard.
+                loss.bind_shards(self.server.shard_for_uplink)
+            crashes = loss.schedule.crashes
+            if crashes:
+                if config.shards <= 1:
+                    raise ValueError(
+                        "shard crash windows require a sharded server (config.shards > 1)"
+                    )
+                if config.checkpoint_every_steps <= 0:
+                    raise ValueError(
+                        "shard crash windows require a positive "
+                        "checkpoint_every_steps cadence (recovery rebuilds the "
+                        "dead shard from the last periodic checkpoint)"
+                    )
+                for window in crashes:
+                    if window.shard >= self.server.num_shards:
+                        raise ValueError(
+                            f"crash window targets shard {window.shard} but the "
+                            f"partitioner built only {self.server.num_shards} shards"
+                        )
+                self._crash_windows = crashes
         self._fastpath = None
         if config.engine == "vectorized":
             from repro.fastpath.runtime import FastpathRuntime
@@ -145,6 +174,7 @@ class MobiEyesSystem:
             # All coverage queries from here on go through the array index.
             self.transport.coverage = self._fastpath.coverage
         self.track_accuracy = track_accuracy
+        self._closed = False
         self._last_error: float | None = None
         self._last_error_step: int | None = None
         self.metrics = MetricsLog(
@@ -247,11 +277,63 @@ class MobiEyesSystem:
         return [(obj.oid, obj.pos) for obj in self.motion.objects]
 
     def _movement_phase(self, clock: SimulationClock) -> None:
+        if self._crash_windows or self._checkpoint_every:
+            self._robustness_housekeeping(clock.step)
         if self._fastpath is not None:
             self._fastpath.movement_phase(clock)
             return
         self.motion.advance(clock.step_hours, clock.now_hours)
         self.transport.begin_step(clock.step, self._positions())
+
+    def _robustness_housekeeping(self, step: int) -> None:
+        """Crash-window orchestration and checkpoint cadence.
+
+        Runs at the very top of the movement phase -- the clock already
+        reads ``step`` but nothing of step ``step`` has happened, so the
+        system is exactly at the post-``step - 1`` boundary.  In order:
+        a crash window *ending* here restarts its shard from the last
+        periodic checkpoint and broadcasts a grid-wide resync directive
+        (this step's traffic already sees the rebuilt tables); a window
+        *starting* here kills its shard before any new delivery; and on
+        a cadence tick with every shard healthy, a fresh checkpoint
+        becomes the recovery basis.
+        """
+        for window in self._crash_windows:
+            if window.end == step:
+                self.server.recover_shard(window.shard, self._last_checkpoint, step)
+                # Clients re-pull descriptors and report epochs; coverage
+                # still matches true positions (movement has not run yet).
+                grid = self.grid
+                self.transport.broadcast(
+                    CellRange(0, grid.n_cols - 1, 0, grid.n_rows - 1), ResyncDirective()
+                )
+        for window in self._crash_windows:
+            if window.start == step:
+                self.server.crash_shard(window.shard)
+        every = self._checkpoint_every
+        if every and step % every == 0:
+            injector = self._fault_injector
+            if injector is None or not injector.schedule.crashed(step):
+                from repro.core.snapshot import checkpoint
+
+                # Null the previous basis during capture so checkpoints
+                # never nest into chains; the fresh checkpoint then becomes
+                # its own recovery basis via a self-reference (cycle-safe
+                # under deepcopy and pickle), which keeps a restored run
+                # recovering from the identical snapshot.
+                prev = self._last_checkpoint
+                self._last_checkpoint = None
+                try:
+                    cp = checkpoint(self)
+                except Exception:
+                    self._last_checkpoint = prev
+                    raise
+                # The clock already reads ``step`` but this is the
+                # post-``step - 1`` boundary state.
+                cp.payload["step"] = step - 1
+                cp.payload["last_checkpoint"] = cp
+                self._last_checkpoint = cp
+                self._checkpoints_taken += 1
 
     def _reporting_phase(self, clock: SimulationClock) -> None:
         if self._fastpath is not None:
@@ -322,11 +404,22 @@ class MobiEyesSystem:
 
     def close(self) -> None:
         """Release background resources (a parallel executor's worker
-        pool, when one is attached).  Safe to call more than once; a
-        system never closed is reaped by the executor's finalizer."""
+        pool, when one is attached).  Idempotent; a system never closed
+        is reaped by the executor's finalizer."""
+        if self._closed:
+            return
+        self._closed = True
         close_executor = getattr(self.server, "close_executor", None)
         if close_executor is not None:
             close_executor()
+
+    def __enter__(self) -> "MobiEyesSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager teardown: crashed or aborted runs never leak
+        executor workers."""
+        self.close()
 
     def _measurement_phase(self, clock: SimulationClock) -> None:
         server_seconds, server_ops = self.server.reset_load()

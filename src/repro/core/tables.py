@@ -195,6 +195,11 @@ class ReverseQueryIndex:
                 if not bucket:
                     del self._cells[cell]
 
+    def clear(self) -> None:
+        """Forget every registration (shard crash: the RQI is soft state
+        rebuilt from the surviving registries at recovery)."""
+        self._cells.clear()
+
     def move(self, qid: QueryId, old_region: CellRange, new_region: CellRange) -> None:
         """Move a query from one monitoring region to another.
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
 
 from repro.core.messages import REC_RESULT, UplinkReportBatch
 from repro.geometry import Point
@@ -429,6 +429,27 @@ class SimulatedTransport:
             client.on_downlink(envelope.message)
             return
         self.reliability.open_envelope(envelope)
+
+    def discard_queued(self, predicate: Callable[[Envelope], bool]) -> int:
+        """Drop queued, not-yet-delivered envelopes matching ``predicate``.
+
+        Shard crash support: in-flight uplinks addressed to a shard die
+        with it.  Returns the number of envelopes removed.  Reliable
+        exchanges whose envelope is discarded stay pending -- their
+        retransmit timers keep running, so the hop is retried (and
+        re-routed) or fails through the normal retry budget.
+        """
+        removed = 0
+        for due in list(self._queue):
+            batch = self._queue[due]
+            kept = [env for env in batch if not predicate(env)]
+            if len(kept) != len(batch):
+                removed += len(batch) - len(kept)
+                if kept:
+                    self._queue[due] = kept
+                else:
+                    del self._queue[due]
+        return removed
 
     def pending_count(self) -> int:
         """Logical messages currently in flight (enqueued, not yet

@@ -218,8 +218,16 @@ def run_engine(
     shards: int = 1,
     workers: int = 0,
     executor: str = "thread",
+    checkpoint_every: int = 0,
 ) -> dict:
-    """Build, warm up, and time one engine on a scenario's workload."""
+    """Build, warm up, and time one engine on a scenario's workload.
+
+    With ``checkpoint_every > 0`` the system snapshots itself on that
+    cadence during the measured window, and after the run the last
+    checkpoint is serialized, restored into a fresh system, and resumed
+    to the end step; the report's ``checkpoint`` section records the
+    snapshot cost and whether the resumed run matched bit-for-bit.
+    """
     params = scenario.params
     rng = SimulationRng(params.seed)
     workload = generate_workload(params, rng.fork(1))
@@ -239,6 +247,7 @@ def run_engine(
         downlink_latency_steps=scenario.downlink_latency,
         latency_jitter_steps=scenario.latency_jitter,
         latency_seed=params.seed,
+        checkpoint_every_steps=checkpoint_every,
     )
     built = time.perf_counter()
     system = MobiEyesSystem(
@@ -295,8 +304,46 @@ def run_engine(
             {**row, "seconds": round(row["seconds"], 4)} for row in shard_loads()
         ]
         report["load_balance"] = load_balance(report["shard_loads"])
+    if checkpoint_every:
+        report["checkpoint"] = _checkpoint_roundtrip(system, report)
     system.close()
     return report
+
+
+def _checkpoint_roundtrip(system: MobiEyesSystem, report: dict) -> dict:
+    """Serialize the run's last cadence checkpoint, restore it into a
+    fresh system, resume to the end step, and compare the observables.
+
+    ``roundtrip_match`` is the bit-identity witness: the resumed run must
+    reproduce the original's result hash, message counts, energy, and
+    in-flight queue depth exactly.  ``None`` means the cadence never
+    fired (run shorter than the interval).
+    """
+    from repro.core.snapshot import from_bytes, restore
+
+    cp = system._last_checkpoint
+    out: dict = {"checkpoints_taken": system._checkpoints_taken}
+    if cp is None:
+        out["roundtrip_match"] = None
+        return out
+    started = time.perf_counter()
+    blob = cp.to_bytes()
+    resumed = restore(from_bytes(blob))
+    resumed_steps = system.clock.step - resumed.clock.step
+    resumed.run(resumed_steps)
+    out["checkpoint_bytes"] = len(blob)
+    out["restored_from_step"] = cp.payload["step"]
+    out["resumed_steps"] = resumed_steps
+    out["restore_resume_seconds"] = round(time.perf_counter() - started, 4)
+    out["roundtrip_match"] = (
+        result_hash(resumed) == report["result_hash"]
+        and resumed.ledger.uplink_count == report["uplink_messages"]
+        and resumed.ledger.downlink_count == report["downlink_messages"]
+        and round(resumed.ledger.total_energy(), 6) == report["energy_joules"]
+        and resumed.transport.pending_count() == report["pending_messages_at_end"]
+    )
+    resumed.close()
+    return out
 
 
 def load_balance(shard_loads: list[dict]) -> dict:
@@ -332,6 +379,7 @@ def run_scenario(
     shards: int = 1,
     workers: int = 0,
     executor: str = "thread",
+    checkpoint_every: int = 0,
 ) -> dict:
     """Run one scenario through every available engine.
 
@@ -385,7 +433,12 @@ def run_scenario(
             # The parallel baseline: same shard count, serial coordinator.
             serial = run_engine(scenario, engine, shards=shards)
         result = run_engine(
-            scenario, engine, shards=shards, workers=workers, executor=executor
+            scenario,
+            engine,
+            shards=shards,
+            workers=workers,
+            executor=executor,
+            checkpoint_every=checkpoint_every,
         )
         row["engines"][engine] = result
         log(
@@ -427,6 +480,21 @@ def run_scenario(
                 f"(imbalance {balance['imbalance']:.3f}x, "
                 f"seconds {balance['imbalance_seconds']:.3f}x)"
             )
+        roundtrip = result.get("checkpoint")
+        if roundtrip is not None:
+            if roundtrip["roundtrip_match"] is None:
+                log(
+                    f"  {scenario.name}/{engine}: checkpoint cadence never fired "
+                    f"(run shorter than the interval)"
+                )
+            else:
+                verdict = "bit-identical" if roundtrip["roundtrip_match"] else "DIVERGED"
+                log(
+                    f"  {scenario.name}/{engine}: checkpoint roundtrip from step "
+                    f"{roundtrip['restored_from_step']} "
+                    f"({roundtrip['checkpoint_bytes']} bytes, "
+                    f"{roundtrip['resumed_steps']} steps resumed): {verdict}"
+                )
     if parallel_speedups:
         # The row-level column prefers the vectorized engine (the one the
         # CI gate reads); the per-engine values stay under engines.*.
@@ -489,6 +557,10 @@ def compare_reports(
     ):
         return failures
     if (new.get("workers") or 0) != (baseline.get("workers") or 0):
+        return failures
+    # Checkpoint cadence perturbs wall time (each snapshot deepcopies the
+    # full system), so timings only gate against a same-cadence baseline.
+    if (new.get("checkpoint_every") or 0) != (baseline.get("checkpoint_every") or 0):
         return failures
     baseline_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
     for row in new.get("scenarios", []):
@@ -554,6 +626,7 @@ def run_bench(
     workers: int = 0,
     executor: str = "thread",
     scale: str = "default",
+    checkpoint_every: int = 0,
 ) -> Path:
     """Run the full matrix and write ``BENCH_<tag>.json``; returns the path.
 
@@ -578,6 +651,7 @@ def run_bench(
         + (f", workers={workers} ({executor})" if workers and shards > 1 else "")
         + (f", latency={latency}" if latency else "")
         + (f", jitter={jitter}" if jitter else "")
+        + (f", checkpoint_every={checkpoint_every}" if checkpoint_every else "")
     )
     report = {
         "tag": tag,
@@ -589,10 +663,16 @@ def run_bench(
         "executor": executor if shards > 1 and workers > 0 else None,
         "scale": scale,
         "latency": {"uplink_steps": latency, "downlink_steps": latency, "jitter_steps": jitter},
+        "checkpoint_every": checkpoint_every,
         "created_unix": int(time.time()),
         "scenarios": [
             run_scenario(
-                scenario, log=log, shards=shards, workers=workers, executor=executor
+                scenario,
+                log=log,
+                shards=shards,
+                workers=workers,
+                executor=executor,
+                checkpoint_every=checkpoint_every,
             )
             for scenario in scenarios
         ],
@@ -610,6 +690,18 @@ def run_bench(
                 f"vs serial coordinator ({match})"
             )
     log(f"bench: wrote {path}")
+    # A diverged checkpoint roundtrip is a correctness failure, not a
+    # perf regression -- fail the run (the artifact is already written).
+    broken = [
+        f"{row['name']}/{engine}"
+        for row in report["scenarios"]
+        for engine, result in row["engines"].items()
+        if result.get("checkpoint", {}).get("roundtrip_match") is False
+    ]
+    if broken:
+        raise BenchRegression(
+            "checkpoint roundtrip diverged: " + ", ".join(broken)
+        )
     if baseline is not None:
         failures = compare_reports(report, baseline, threshold=compare_threshold)
         if failures:

@@ -7,7 +7,8 @@ deployment faces:
 - :mod:`~repro.faults.channels` -- loss processes beyond i.i.d.:
   Gilbert-Elliott burst loss next to plain Bernoulli.
 - :mod:`~repro.faults.schedule` -- scriptable deterministic fault
-  schedules: per-object disconnection windows and base-station outages.
+  schedules: per-object disconnection windows, base-station outages,
+  and server-shard crash windows.
 - :mod:`~repro.faults.injector` -- :class:`FaultInjector`, a drop-in for
   :class:`~repro.network.loss.LossModel` that combines schedule faults
   with a channel and does *not* exempt reliable messages.
@@ -32,10 +33,11 @@ from repro.faults.channels import BernoulliChannel, GilbertElliottChannel
 from repro.faults.injector import FaultInjector
 from repro.faults.policy import ReliabilityPolicy
 from repro.faults.reliability import ReliabilityLayer
-from repro.faults.schedule import DisconnectWindow, FaultSchedule, StationOutage
+from repro.faults.schedule import CrashWindow, DisconnectWindow, FaultSchedule, StationOutage
 
 __all__ = [
     "BernoulliChannel",
+    "CrashWindow",
     "DisconnectWindow",
     "FaultInjector",
     "FaultSchedule",

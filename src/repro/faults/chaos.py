@@ -35,6 +35,7 @@ its twin draw different delays and never bit-realign.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 
@@ -42,7 +43,7 @@ from repro.core import MobiEyesConfig, MobiEyesSystem
 from repro.faults.channels import BernoulliChannel, GilbertElliottChannel
 from repro.faults.injector import FaultInjector
 from repro.faults.policy import ReliabilityPolicy
-from repro.faults.schedule import DisconnectWindow, FaultSchedule, StationOutage
+from repro.faults.schedule import CrashWindow, DisconnectWindow, FaultSchedule, StationOutage
 from repro.grid import Grid
 from repro.network.basestation import BaseStationLayout
 from repro.sim.rng import SimulationRng
@@ -105,11 +106,26 @@ def run_chaos(
     latency_jitter: int = 0,
     workers: int = 0,
     executor: str = "thread",
+    crash: bool = False,
+    checkpoint_every: int = 0,
 ) -> dict:
-    """Run one chaos scenario and return the JSON-safe report."""
+    """Run one chaos scenario and return the JSON-safe report.
+
+    With ``crash=True`` (requires ``shards >= 2``) the schedule gains a
+    mid-run crash window on the last shard: the shard's soft state is
+    erased at the window start and rebuilt from the system's last
+    periodic checkpoint (cadence ``checkpoint_every``, defaulted to
+    ``max(2, steps // 8)``) at the window end, followed by a grid-wide
+    client resync.  Crash runs are always graded against the fault-free
+    lockstep twin, even at zero latency.
+    """
+    if crash and shards < 2:
+        raise ValueError("crash injection requires shards >= 2 (a shard must die)")
     params = paper_defaults().scaled(scale)
     rng = SimulationRng(seed)
     workload = generate_workload(params, rng.fork(1))
+    if crash and checkpoint_every <= 0:
+        checkpoint_every = max(2, steps // 8)
     config = MobiEyesConfig(
         uod=params.uod,
         alpha=params.alpha,
@@ -123,9 +139,21 @@ def run_chaos(
         downlink_latency_steps=downlink_latency,
         latency_jitter_steps=latency_jitter,
         latency_seed=seed,
+        checkpoint_every_steps=checkpoint_every if crash else 0,
     )
     layout = BaseStationLayout(Grid(params.uod, params.alpha), params.base_station_side)
     schedule = canonical_schedule(steps, [obj.oid for obj in workload.objects], layout, params.uod)
+    if crash:
+        # The window opens only after the first cadence checkpoint exists
+        # and closes with enough run left to observe reconvergence.
+        crash_start = max(checkpoint_every + 1, steps // 3)
+        crash_len = min(8, max(2, steps // 5))
+        schedule = dataclasses.replace(
+            schedule,
+            crashes=(
+                CrashWindow(shard=shards - 1, start=crash_start, end=crash_start + crash_len),
+            ),
+        )
     channel_rng = rng.fork(3)
     injector = FaultInjector(
         channel_rng,
@@ -148,14 +176,17 @@ def run_chaos(
 
     # Recovery yardstick under latency: a fault-free twin with the same
     # latency pipeline (motion is identical -- faults never touch the
-    # motion rng), stepped in lockstep.
+    # motion rng), stepped in lockstep.  Crash runs always grade against
+    # the twin: recovery replays a checkpoint, and only exact realignment
+    # with the fault-free run proves the rebuilt shard converged.
     latency_on = bool(uplink_latency or downlink_latency or latency_jitter)
     twin = None
-    if latency_on:
+    if latency_on or crash:
         twin_rng = SimulationRng(seed)
         twin_workload = generate_workload(params, twin_rng.fork(1))
         twin = MobiEyesSystem(
-            config,
+            # The fault-free twin needs no recovery basis; skip its cadence.
+            dataclasses.replace(config, checkpoint_every_steps=0),
             list(twin_workload.objects),
             twin_rng.fork(2),
             velocity_changes_per_step=params.velocity_changes_per_step,
@@ -201,7 +232,9 @@ def run_chaos(
     # Steps-to-reconverge, measured from each fault window's end to the
     # first step at which the system matches the oracle exactly.
     window_ends = sorted(
-        {w.end for w in schedule.disconnects} | {o.end for o in schedule.outages}
+        {w.end for w in schedule.disconnects}
+        | {o.end for o in schedule.outages}
+        | {c.end for c in schedule.crashes}
     )
     reconvergence = []
     for end in window_ends:
@@ -232,6 +265,29 @@ def run_chaos(
 
     ledger = system.ledger
     reliability = system.transport.reliability
+    # Per-shard load split (satellite of the balance report in bench):
+    # the seconds-based fields are wall-clock and would break the report's
+    # bit-identity guarantee, so only the deterministic counters survive.
+    shard_balance = None
+    shard_loads = None
+    if shards > 1:
+        from repro.fastpath.bench import load_balance
+
+        rows = system.server.shard_loads()
+        balance = load_balance(rows)
+        shard_loads = [{k: row[k] for k in row if k != "seconds"} for row in rows]
+        shard_balance = {
+            k: balance[k] for k in ("num_shards", "min_ops", "max_ops", "mean_ops", "imbalance")
+        }
+    crash_report = None
+    if crash:
+        crash_report = {
+            "windows": [
+                {"shard": c.shard, "start": c.start, "end": c.end} for c in schedule.crashes
+            ],
+            "checkpoint_every": checkpoint_every,
+            "checkpoints_taken": system._checkpoints_taken,
+        }
     system.close()
     if twin is not None:
         twin.close()
@@ -256,6 +312,9 @@ def run_chaos(
             "pending_at_end": system.transport.pending_count(),
         },
         "schedule": schedule.describe(),
+        "crash": crash_report,
+        "shard_loads": shard_loads,
+        "load_balance": shard_balance,
         "per_step": {
             "symmetric_error": [round(v, 9) for v in sym_fracs],
             "missing_fraction": [round(v, 9) for v in missing_fracs],

@@ -64,8 +64,10 @@ class FaultInjector:
         self.drops_by_cause: Counter = Counter()
         self._offline: frozenset[ObjectId] = frozenset()
         self._dead: frozenset[int] = frozenset()
+        self._crashed: frozenset[int] = frozenset()
         self._layout: BaseStationLayout | None = None
         self._locator: Locator | None = None
+        self._shard_router: Callable[[object], int] | None = None
 
     # ------------------------------------------------------------- wiring
 
@@ -75,9 +77,16 @@ class FaultInjector:
         self._layout = layout
         self._locator = locator
 
+    def bind_shards(self, router: Callable[[object], int]) -> None:
+        """Attach the ``message -> shard id`` router so crash windows can
+        drop uplinks addressed to a dead shard (done by the system when a
+        sharded server is built)."""
+        self._shard_router = router
+
     def begin_step(self, step: int) -> None:
         """Activate the schedule windows covering ``step``."""
         self._offline, self._dead = self.schedule.at(step)
+        self._crashed = self.schedule.crashed(step)
 
     # ---------------------------------------------------------- predicates
 
@@ -115,9 +124,33 @@ class FaultInjector:
     # ------------------------------------------------------- loss interface
 
     def drop_uplink(self, message: object) -> bool:
-        """Whether this object -> server message is lost in transit."""
+        """Whether this object -> server message is lost in transit.
+
+        Checked in priority order: disconnection, station outage, crashed
+        server shard, then the stochastic channel.  The crash check routes
+        the message with the bound shard router and consumes no RNG, so a
+        crash-free run's channel stream is bit-identical with or without
+        crash windows in the schedule.
+        """
         oid = getattr(message, "oid", None)
-        cause = self._fault_cause(oid, self.uplink_channel)
+        if oid is not None:
+            if oid in self._offline:
+                cause = "disconnect"
+            elif self.station_dead_for(oid):
+                cause = "outage"
+            else:
+                cause = None
+        else:
+            cause = None
+        if (
+            cause is None
+            and self._crashed
+            and self._shard_router is not None
+            and self._shard_router(message) in self._crashed
+        ):
+            cause = "crash"
+        if cause is None and self.uplink_channel is not None and self.uplink_channel.roll():
+            cause = "channel"
         if cause is None:
             return False
         self.dropped_uplinks += 1

@@ -2,9 +2,12 @@
 
 A schedule is a set of half-open step windows: per-object disconnections
 (the device is in a tunnel / its battery died -- all its traffic drops,
-both directions) and base-station outages (all traffic *through* the dead
-station drops).  The windows are pure data, so a schedule is trivially
-reproducible and serializable into a chaos report.
+both directions), base-station outages (all traffic *through* the dead
+station drops), and server-shard crashes (the shard's soft state and
+in-flight uplinks are lost; see
+:meth:`~repro.core.coordinator.Coordinator.crash_shard`).  The windows
+are pure data, so a schedule is trivially reproducible and serializable
+into a chaos report.
 """
 
 from __future__ import annotations
@@ -50,11 +53,38 @@ class StationOutage:
 
 
 @dataclass(frozen=True, slots=True)
+class CrashWindow:
+    """Server shard ``shard`` is down for steps ``start <= step < end``.
+
+    While the window is open the shard's soft state is gone (dropped at
+    ``start`` by :meth:`~repro.core.coordinator.Coordinator.crash_shard`)
+    and every uplink routed to it is lost; at ``end`` the coordinator
+    rebuilds the shard from its last checkpoint
+    (:meth:`~repro.core.coordinator.Coordinator.recover_shard`).
+    """
+
+    shard: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+        if self.shard < 0:
+            raise ValueError("shard must be non-negative")
+
+    def active(self, step: int) -> bool:
+        """Whether the window covers ``step``."""
+        return self.start <= step < self.end
+
+
+@dataclass(frozen=True, slots=True)
 class FaultSchedule:
-    """A fixed script of disconnections and station outages."""
+    """A fixed script of disconnections, station outages, and shard crashes."""
 
     disconnects: tuple[DisconnectWindow, ...] = ()
     outages: tuple[StationOutage, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
 
     def at(self, step: int) -> tuple[frozenset[ObjectId], frozenset[BaseStationId]]:
         """The (offline objects, dead stations) active at ``step``."""
@@ -62,10 +92,18 @@ class FaultSchedule:
         dead = frozenset(o.bsid for o in self.outages if o.active(step))
         return offline, dead
 
+    def crashed(self, step: int) -> frozenset[int]:
+        """The server shards down at ``step``."""
+        return frozenset(c.shard for c in self.crashes if c.active(step))
+
     @property
     def last_step(self) -> int:
         """The last step at which any scheduled fault is still active."""
-        ends = [w.end for w in self.disconnects] + [o.end for o in self.outages]
+        ends = (
+            [w.end for w in self.disconnects]
+            + [o.end for o in self.outages]
+            + [c.end for c in self.crashes]
+        )
         return max(ends) - 1 if ends else -1
 
     def describe(self) -> dict:
@@ -76,5 +114,8 @@ class FaultSchedule:
             ],
             "outages": [
                 {"bsid": o.bsid, "start": o.start, "end": o.end} for o in self.outages
+            ],
+            "crashes": [
+                {"shard": c.shard, "start": c.start, "end": c.end} for c in self.crashes
             ],
         }

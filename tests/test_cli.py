@@ -81,11 +81,13 @@ class TestBench:
             workers=0,
             executor="thread",
             scale="default",
+            checkpoint_every=0,
         ):
             calls.update(
                 tag=tag, smoke=smoke, out_dir=out_dir, shards=shards,
                 latency=latency, jitter=jitter, compare=compare,
                 workers=workers, executor=executor, scale=scale,
+                checkpoint_every=checkpoint_every,
             )
             return tmp_path / "BENCH_x.json"
 
@@ -98,6 +100,7 @@ class TestBench:
             "tag": "x", "smoke": True, "out_dir": None, "shards": 4,
             "latency": 2, "jitter": 0, "compare": None,
             "workers": 4, "executor": "process", "scale": "default",
+            "checkpoint_every": 0,
         }
 
     def test_regression_gate_exit_code(self, monkeypatch, tmp_path):
