@@ -160,6 +160,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             executor=args.executor,
             scale=args.scale,
             checkpoint_every=args.checkpoint_every,
+            rebalance_every=args.rebalance_every,
+            rebalance_metric=args.rebalance_metric,
         )
     except BenchRegression as regression:
         print(str(regression), file=sys.stderr)
@@ -207,6 +209,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             executor=args.executor,
             crash=args.crash,
             checkpoint_every=args.checkpoint_every,
+            rebalance=args.rebalance,
         )
 
     failed = False
@@ -330,10 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scale",
-        choices=("default", "xl"),
+        choices=("default", "xl", "skewed"),
         default="default",
         help="scenario preset: 'default' = the usual matrix, 'xl' = one "
-        "100k-object / 5k-query vectorized-only scenario",
+        "100k-object / 5k-query vectorized-only scenario, 'skewed' = one "
+        "flash-crowd scenario (half the objects in the left 20%% x-strip)",
     )
     bench.add_argument(
         "--latency",
@@ -364,6 +368,23 @@ def build_parser() -> argparse.ArgumentParser:
         "window, then restore the last checkpoint and resume it to the end: "
         "the report gains the snapshot cost and a bit-identity verdict "
         "(exit 1 if the resumed run diverges)",
+    )
+    bench.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=0,
+        help="evaluate the load-aware repartitioning policy every N steps "
+        "(requires --shards > 1): each engine also runs a static-stripes "
+        "twin and the report gains a rebalance block with the static vs "
+        "rebalanced imbalance_seconds and a result-identity verdict",
+    )
+    bench.add_argument(
+        "--rebalance-metric",
+        choices=("seconds", "ops"),
+        default="seconds",
+        help="load signal driving --rebalance-every: wall-clock 'seconds' "
+        "(the real thing) or deterministic 'ops' (reproducible triggers "
+        "for CI)",
     )
     bench.set_defaults(func=_cmd_bench)
 
@@ -443,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="checkpoint cadence in steps for --crash recovery "
         "(default: steps // 8, at least 2)",
+    )
+    chaos.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="apply the canonical repartition triggers inside the fault "
+        "windows (requires --shards >= 2): boundary migration races the "
+        "outage, disconnections, and any --crash window, graded against "
+        "the static-stripes fault-free twin",
     )
     chaos.add_argument("--tag", default=None, help="artifact tag (default: 'local'/'smoke')")
     chaos.add_argument(

@@ -6,7 +6,8 @@ from repro.core.config import MobiEyesConfig
 from repro.core.coordinator import Coordinator
 from repro.core.focal import FocalTracker
 from repro.core.load import LoadAccount
-from repro.core.partition import GridPartitioner
+from repro.core.partition import GridPartitioner, PartitionMap
+from repro.core.rebalance import RebalancePolicy
 from repro.core.propagation import PropagationMode
 from repro.core.query import (
     AndFilter,
@@ -41,6 +42,8 @@ __all__ = [
     "Coordinator",
     "FocalTracker",
     "GridPartitioner",
+    "PartitionMap",
+    "RebalancePolicy",
     "LoadAccount",
     "NotFilter",
     "OrFilter",

@@ -44,6 +44,7 @@ from repro.core.messages import (
     QueryRemoveBroadcast,
     QueryUpdateBroadcast,
     ResultChangeReport,
+    RebalanceDirective,
     ResyncDirective,
     ResyncRequest,
     ResyncResponse,
@@ -136,6 +137,10 @@ class MobiEyesClient:
         self._last_downlink_seq: int | None = None
         self._needs_resync = False
         self._suspect = False
+        # The newest partition epoch this client has heard of (via
+        # RebalanceDirective); uplinks are stamped with it so the server
+        # transport can count stale-epoch reroutes after a repartition.
+        self.partition_epoch = 0
         # Report generation: bumped (by the server, via ResyncResponse)
         # every time a resync purges this object from the query results, so
         # reports that were in flight across the purge can be told apart.
@@ -485,6 +490,13 @@ class MobiEyesClient:
             # Server-side state was lost (a shard crashed and was rebuilt
             # from a checkpoint); run the ordinary resync round trip.
             self._needs_resync = True
+        elif isinstance(message, RebalanceDirective):
+            # The partition map moved under us: adopt the advertised epoch
+            # so subsequent uplinks are stamped with the current routing
+            # generation.  No state to resync -- in-flight uplinks carrying
+            # the old epoch are rerouted server-side at delivery.
+            if message.epoch > self.partition_epoch:
+                self.partition_epoch = message.epoch
         else:
             raise TypeError(f"unexpected downlink message {type(message).__name__}")
 

@@ -87,6 +87,30 @@ class MobiEyesConfig:
             way.  A fault schedule containing shard crash windows
             requires a positive cadence -- recovery rebuilds the dead
             shard from the last periodic checkpoint.
+        rebalance_every_steps: cadence (in steps) at which the load-aware
+            :class:`~repro.core.rebalance.RebalancePolicy` inspects the
+            per-shard critical-path seconds and may move a column span
+            between adjacent shards.  ``0`` (the default) disables
+            policy-driven rebalancing.  Policy triggers depend on wall
+            clocks, so this mode makes no cross-engine bit-identity claim
+            about *when* repartitions happen (the protocol results are
+            unaffected either way -- only directive downlinks differ).
+        rebalance_schedule: explicit, deterministic repartition triggers as
+            ``(step, src, dst, cols)`` tuples: at the top of ``step``, move
+            ``cols`` columns from shard ``src`` into the adjacent shard
+            ``dst``.  A fixed schedule keeps runs bit-identical across
+            engines, shard counts, and executors (out-of-range ops clamp to
+            no-ops, but the rebalance directive still broadcasts so message
+            counts and the energy ledger match everywhere).
+        rebalance_hot_factor: policy hysteresis trigger -- a repartition
+            fires when the hottest shard's window critical-path seconds
+            exceed ``hot_factor`` times the mean.
+        rebalance_cool_factor: policy hysteresis release -- once hot, the
+            policy stays armed (refusing new moves) until the ratio falls
+            below ``cool_factor``, preventing boundary thrash.
+        rebalance_metric: which per-shard load figure drives the policy:
+            ``"seconds"`` (wall-clock critical path, the default) or
+            ``"ops"`` (deterministic operation counters).
     """
 
     uod: Rect
@@ -110,6 +134,11 @@ class MobiEyesConfig:
     shard_workers: int = 0
     shard_executor: str = "thread"
     checkpoint_every_steps: int = 0
+    rebalance_every_steps: int = 0
+    rebalance_schedule: tuple[tuple[int, int, int, int], ...] = ()
+    rebalance_hot_factor: float = 1.5
+    rebalance_cool_factor: float = 1.2
+    rebalance_metric: str = "seconds"
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -140,6 +169,26 @@ class MobiEyesConfig:
             )
         if self.checkpoint_every_steps < 0:
             raise ValueError("checkpoint_every_steps must be non-negative")
+        if self.rebalance_every_steps < 0:
+            raise ValueError("rebalance_every_steps must be non-negative")
+        for op in self.rebalance_schedule:
+            if len(op) != 4 or any(not isinstance(v, int) for v in op):
+                raise ValueError(
+                    f"rebalance_schedule entries must be (step, src, dst, cols) ints, got {op!r}"
+                )
+            step, src, dst, cols = op
+            if step < 1 or src < 0 or dst < 0 or cols < 1 or abs(src - dst) != 1:
+                raise ValueError(f"invalid rebalance op {op!r}")
+        if self.rebalance_hot_factor < 1.0:
+            raise ValueError("rebalance_hot_factor must be at least 1.0")
+        if not 1.0 <= self.rebalance_cool_factor <= self.rebalance_hot_factor:
+            raise ValueError(
+                "rebalance_cool_factor must lie between 1.0 and rebalance_hot_factor"
+            )
+        if self.rebalance_metric not in ("seconds", "ops"):
+            raise ValueError(
+                f"rebalance_metric must be 'seconds' or 'ops', got {self.rebalance_metric!r}"
+            )
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

@@ -53,7 +53,7 @@ from repro.core.registry import QueryRegistry, ResultCallback
 from repro.core.shard import ServerShard
 from repro.core.tables import FotEntry, SqtEntry
 from repro.core.transport import SimulatedTransport
-from repro.grid import CellIndex, Grid
+from repro.grid import CellIndex, CellRange, Grid
 from repro.mobility.model import ObjectId
 
 
@@ -164,6 +164,13 @@ class Coordinator:
             home = self._fot_home.get(oid)
         return home
 
+    @property
+    def partition_epoch(self) -> int:
+        """The partition map's current version (bumped by every effective
+        repartition; stamped onto deferred uplink envelopes so the
+        transport can count stale-epoch reroutes)."""
+        return self.partitioner.epoch
+
     def shard_for_uplink(self, message: object) -> int:
         """The shard an uplink message is dispatched to (also the ack
         endpoint the reliability layer keys its sequence streams by)."""
@@ -248,6 +255,84 @@ class Coordinator:
             source.tracker.evict(oid)
             target.tracker.import_state(oid, packed)
             target.load.ops += 1
+
+    # ----------------------------------------------------- rebalancing
+
+    def apply_rebalance(self, src: int, dst: int, cols: int) -> dict:
+        """Move a column span from shard ``src`` into the adjacent shard
+        ``dst``, migrating the span's state online.
+
+        The migration runs in four deterministic strokes, all inside one
+        housekeeping slot at the top of a step (never concurrent with a
+        parallel shard region, so the executors' frozen routing tables are
+        safe):
+
+        1. *freeze the span*: compute the moving columns under the old map;
+        2. *epoch bump*: mutate the partition map (``transfer``), making
+           every layer that routes by cell -- uplink routing, RQI
+           registration, broadcast splits -- see the new ownership at once;
+        3. *handoff*: move the span's RQI buckets wholesale from ``src`` to
+           ``dst`` (cell-owned soft state follows the cells) and migrate
+           every focal homed on ``src`` whose last-known cell lies in the
+           span, reusing the ordinary cross-shard focal handoff;
+        4. the caller broadcasts a :class:`RebalanceDirective` so clients
+           adopt the new epoch (in-flight uplinks stamped with the old
+           epoch are rerouted at delivery, not dropped).
+
+        Ops out of range for this map (a schedule written for more shards)
+        clamp to a no-op; the returned summary says what actually moved.
+        """
+        part = self.partitioner
+        summary = {
+            "src": src,
+            "dst": dst,
+            "cols_moved": 0,
+            "rqi_cells_moved": 0,
+            "focals_migrated": 0,
+            "epoch": part.epoch,
+        }
+        if not (0 <= src < part.num_shards and 0 <= dst < part.num_shards):
+            return summary
+        moved = min(cols, part.width_of(src))
+        if moved == 0:
+            return summary
+        # Freeze the moving span under the old boundaries.
+        lo, hi = part.columns_of(src)
+        if dst > src:
+            span_lo, span_hi = hi - moved + 1, hi
+        else:
+            span_lo, span_hi = lo, lo + moved - 1
+        span = CellRange(span_lo, span_hi, 0, part.grid.n_rows - 1)
+        part.transfer(src, dst, moved)
+        summary["cols_moved"] = moved
+        summary["epoch"] = part.epoch
+        source, target = self.shards[src], self.shards[dst]
+        with target.load.timed():
+            # Cell-owned RQI registrations follow their cells wholesale.
+            buckets = source.registry.rqi.extract_region(span)
+            target.registry.rqi.absorb(buckets)
+            target.load.ops += len(buckets)
+            summary["rqi_cells_moved"] = len(buckets)
+        # Focals homed on the donor whose last-known cell sits inside the
+        # moved span follow it (the ordinary handoff keeps the ownership
+        # directories and any executor mirrors in sync).  Objects that
+        # miss the cut -- no position on record yet, or currently outside
+        # the span -- reconverge through their next cell-change report.
+        homed = sorted(
+            oid
+            for oid, home in {**self._fot_home, **self._focal_home}.items()
+            if home == src
+        )
+        cell_of = self.transport.coverage.cell_of
+        for oid in homed:
+            try:
+                cell = cell_of(oid)
+            except KeyError:
+                continue
+            if span.contains(cell):
+                self.migrate_focal(oid, dst)
+                summary["focals_migrated"] += 1
+        return summary
 
     # --------------------------------------------------- crash / recovery
 

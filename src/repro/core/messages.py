@@ -492,6 +492,34 @@ class ResyncDirective:
         return BITS_HEADER
 
 
+@dataclass(frozen=True, slots=True)
+class RebalanceDirective:
+    """Server -> whole grid: the partition map changed; re-resolve routes.
+
+    Broadcast after the coordinator moves a column span between shards
+    (:meth:`~repro.core.coordinator.Coordinator.apply_rebalance`).  Clients
+    record the advertised partition epoch; any uplink already in flight
+    that was routed under an older epoch is re-resolved by the server-side
+    transport at delivery time (stale-epoch reroute), so nothing is
+    dropped and the directive stays a hint rather than state.
+
+    Like :class:`ResyncDirective` the directive is unreliable -- a client
+    that misses it keeps stamping the old epoch, and those uplinks are
+    simply rerouted until the next directive lands.
+    """
+
+    reliable: ClassVar[bool] = False
+
+    # The partition epoch after the repartition.  Rides the header's
+    # sequence slot budget-wise, plus one explicit epoch field.
+    epoch: int = 0
+
+    @property
+    def bits(self) -> int:
+        """Wire size of this message in bits."""
+        return BITS_HEADER + BITS_SEQ
+
+
 # --------------------------------------------------------------- both ways
 
 
@@ -534,5 +562,6 @@ DownlinkMessage = (
     | MotionStateRequest
     | ResyncResponse
     | ResyncDirective
+    | RebalanceDirective
     | Ack
 )

@@ -1,12 +1,29 @@
-"""Deterministic grid-cell partitioning for the sharded server.
+"""Epoch-versioned grid-cell partitioning for the sharded server.
 
 The coordinator splits the grid into ``num_shards`` contiguous column
-stripes; :meth:`GridPartitioner.shard_of_cell` is the deterministic
+stripes; :meth:`PartitionMap.shard_of_cell` is the deterministic
 "grid hash" mapping any cell index to the shard that owns it.  Contiguity
 matters: a monitoring region (always a rectangular :class:`CellRange`)
 intersects a contiguous span of shards, and each shard's portion of it is
 itself a rectangular range, so RQI registrations and broadcast splits stay
 range-shaped instead of exploding into per-cell sets.
+
+Unlike the original frozen ``GridPartitioner`` this map is *mutable*: the
+stripe boundaries can shift at runtime (:meth:`transfer`,
+:meth:`split_stripe`, :meth:`merge_stripes`) while the shard count stays
+fixed for the life of the system -- rebalancing moves column spans between
+existing shards rather than spawning new ones, so every layer holding a
+``shards`` list (coordinator, executors, checkpoints) keeps stable indices.
+A stripe may become *empty* (its two boundaries coincide); ``bisect_right``
+then never maps a cell to it and ``clip``/``split`` skip it, so an emptied
+shard simply stops receiving routed traffic until a later transfer refills
+it.
+
+Every mutation increments :attr:`epoch`, the version number threaded
+through uplink envelopes and client directives: a message stamped with an
+older epoch was routed under a boundary layout that may no longer hold, and
+the transport re-resolves its destination at delivery time instead of
+trusting the stale route.
 
 A requested shard count larger than the number of grid columns is clamped
 (an empty shard would never receive any routed traffic); the effective
@@ -20,8 +37,9 @@ from bisect import bisect_right
 from repro.grid import CellIndex, CellRange, Grid
 
 
-class GridPartitioner:
-    """Deterministic cell -> shard mapping over contiguous column stripes."""
+class PartitionMap:
+    """Mutable, epoch-versioned cell -> shard map over contiguous column
+    stripes."""
 
     def __init__(self, grid: Grid, num_shards: int) -> None:
         if num_shards < 1:
@@ -31,6 +49,11 @@ class GridPartitioner:
         # Stripe boundaries: shard s owns columns [bounds[s], bounds[s+1]).
         self._bounds = [s * grid.n_cols // self.num_shards for s in range(self.num_shards)]
         self._bounds.append(grid.n_cols)
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Read API (unchanged from the frozen partitioner)
+    # ------------------------------------------------------------------
 
     def shard_of_cell(self, cell: CellIndex) -> int:
         """The shard owning a grid cell (pure function of the column)."""
@@ -38,11 +61,23 @@ class GridPartitioner:
         return bisect_right(self._bounds, i) - 1
 
     def columns_of(self, shard: int) -> tuple[int, int]:
-        """The inclusive column span ``(lo, hi)`` owned by a shard."""
+        """The inclusive column span ``(lo, hi)`` owned by a shard.
+
+        An empty stripe reports ``hi == lo - 1``.
+        """
         return (self._bounds[shard], self._bounds[shard + 1] - 1)
 
+    def width_of(self, shard: int) -> int:
+        """How many columns a shard owns (0 for an emptied stripe)."""
+        return self._bounds[shard + 1] - self._bounds[shard]
+
     def cells_of(self, shard: int) -> CellRange:
-        """Every grid cell owned by a shard, as a rectangular range."""
+        """Every grid cell owned by a shard, as a rectangular range.
+
+        Raises ``ValueError`` for an emptied stripe (there is no non-empty
+        range to return); check :meth:`width_of` first when a stripe may
+        have been drained by rebalancing.
+        """
         lo, hi = self.columns_of(shard)
         return CellRange(lo, hi, 0, self.grid.n_rows - 1)
 
@@ -52,7 +87,12 @@ class GridPartitioner:
         return lo <= cell[0] <= hi and 0 <= cell[1] <= self.grid.n_rows - 1
 
     def shards_of_region(self, region: CellRange) -> range:
-        """The contiguous span of shard ids a cell range intersects."""
+        """The contiguous span of shard ids a cell range intersects.
+
+        The span may include emptied stripes sandwiched between the
+        endpoints' owners; their :meth:`clip` is ``None`` and
+        :meth:`split` skips them.
+        """
         first = self.shard_of_cell((region.lo_i, region.lo_j))
         last = self.shard_of_cell((region.hi_i, region.lo_j))
         return range(first, last + 1)
@@ -74,3 +114,83 @@ class GridPartitioner:
             if portion is not None:
                 out.append((shard, portion))
         return out
+
+    # ------------------------------------------------------------------
+    # Mutation API (each effective change bumps the epoch)
+    # ------------------------------------------------------------------
+
+    @property
+    def bounds(self) -> tuple[int, ...]:
+        """The boundary list as an immutable snapshot (for checkpoints)."""
+        return tuple(self._bounds)
+
+    def restore_state(self, bounds: tuple[int, ...], epoch: int) -> None:
+        """Adopt a checkpointed boundary layout and epoch wholesale."""
+        if len(bounds) != self.num_shards + 1:
+            raise ValueError(
+                f"bounds length {len(bounds)} does not fit {self.num_shards} shards"
+            )
+        if bounds[0] != 0 or bounds[-1] != self.grid.n_cols:
+            raise ValueError(f"bounds {bounds} do not span the grid")
+        if any(bounds[s] > bounds[s + 1] for s in range(self.num_shards)):
+            raise ValueError(f"bounds {bounds} are not monotone")
+        self._bounds = list(bounds)
+        self.epoch = epoch
+
+    def transfer(self, src: int, dst: int, cols: int) -> int:
+        """Move up to ``cols`` columns from ``src``'s edge into the adjacent
+        shard ``dst``; returns how many columns actually moved.
+
+        The move clamps to ``src``'s current width (possibly emptying it)
+        and is a no-op -- no epoch bump -- when ``src`` is already empty or
+        ``cols`` is zero.  Only index-adjacent shards can trade columns:
+        that is what keeps every stripe a contiguous column range.
+        """
+        if not 0 <= src < self.num_shards or not 0 <= dst < self.num_shards:
+            raise ValueError(f"shard out of range: transfer({src}, {dst})")
+        if abs(src - dst) != 1:
+            raise ValueError(f"shards must be adjacent: transfer({src}, {dst})")
+        if cols < 0:
+            raise ValueError(f"cols must be non-negative, got {cols}")
+        moved = min(cols, self.width_of(src))
+        if moved == 0:
+            return 0
+        if dst == src + 1:
+            # src donates its rightmost columns.
+            self._bounds[src + 1] -= moved
+        else:
+            # src donates its leftmost columns.
+            self._bounds[src] += moved
+        self.epoch += 1
+        return moved
+
+    def split_stripe(self, shard: int, at: int | None = None) -> int:
+        """Split a hot stripe: donate its right part to the right neighbor.
+
+        Columns ``[at, hi]`` move to ``shard + 1``; the default split point
+        is the midpoint (right half moves, the left majority stays for odd
+        widths).  Returns the number of columns moved (0 when the stripe is
+        too narrow to split).
+        """
+        if not 0 <= shard < self.num_shards - 1:
+            raise ValueError(f"no right neighbor to receive a split of shard {shard}")
+        lo, hi_excl = self._bounds[shard], self._bounds[shard + 1]
+        if at is None:
+            moved = (hi_excl - lo) // 2
+        else:
+            if not lo <= at <= hi_excl:
+                raise ValueError(f"split point {at} outside stripe [{lo}, {hi_excl})")
+            moved = hi_excl - at
+        return self.transfer(shard, shard + 1, moved)
+
+    def merge_stripes(self, shard: int, into: int) -> int:
+        """Merge a cold stripe: drain every column of ``shard`` into the
+        adjacent shard ``into``, leaving ``shard`` empty.  Returns the
+        number of columns moved."""
+        return self.transfer(shard, into, self.width_of(shard))
+
+
+# The original frozen partitioner's name, kept as an alias: every layer that
+# type-annotates or constructs a ``GridPartitioner`` keeps working, and the
+# semantics are identical until someone calls a mutation method.
+GridPartitioner = PartitionMap

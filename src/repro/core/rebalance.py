@@ -1,0 +1,131 @@
+"""Load-aware rebalancing policy for the epoch-versioned partition map.
+
+The sharded server measures per-shard load two ways (:mod:`repro.core.load`):
+wall-clock ``seconds`` charged to each shard's :class:`LoadAccount` and the
+deterministic abstract ``ops`` counter.  This module turns those figures
+into repartition decisions: every ``rebalance_every_steps`` steps the system
+hands the policy the per-shard lifetime totals; the policy diffs them
+against its marks to get the *window* load, finds the hottest shard, and --
+with hysteresis, so a single noisy window cannot thrash the boundaries --
+proposes moving a column span to the cooler adjacent neighbor.
+
+The proposal is a plain ``(src, dst, cols)`` tuple; the actual migration
+(:meth:`~repro.core.coordinator.Coordinator.apply_rebalance`) and the
+client-facing directive broadcast are the system's job.  Keeping the policy
+pure-decision makes it checkpointable (marks + armed flag) and unit-testable
+without a running system.
+
+Two trigger styles coexist:
+
+- *policy mode* (``rebalance_every_steps > 0``): decisions depend on
+  measured load; under the ``"seconds"`` metric that is wall clock, so this
+  mode makes no bit-identity claim about *when* repartitions fire (the
+  protocol results are identical either way -- only directive downlinks
+  differ between runs).
+- *schedule mode* (``rebalance_schedule``): a fixed list of
+  ``(step, src, dst, cols)`` triggers applied unconditionally, bypassing the
+  policy; this is the reproducible mode the differential tests pin down.
+"""
+
+from __future__ import annotations
+
+
+class RebalancePolicy:
+    """Hotspot detection with hysteresis over per-shard load windows.
+
+    A shard is *hot* when its window load exceeds ``hot_factor`` times the
+    mean across shards.  The hysteresis is thermostat-style: crossing
+    ``hot_factor`` *arms* the policy, and while armed it keeps proposing
+    one move per window until the ratio cools below ``cool_factor``.  The
+    dead band between the two thresholds is where boundary oscillation
+    would live -- a ratio hovering there neither starts nor continues a
+    rebalance, so a single noisy window cannot thrash the stripes.
+    """
+
+    def __init__(
+        self,
+        hot_factor: float = 1.5,
+        cool_factor: float = 1.2,
+        metric: str = "seconds",
+    ) -> None:
+        if hot_factor < 1.0:
+            raise ValueError("hot_factor must be at least 1.0")
+        if not 1.0 <= cool_factor <= hot_factor:
+            raise ValueError("cool_factor must lie between 1.0 and hot_factor")
+        if metric not in ("seconds", "ops"):
+            raise ValueError(f"metric must be 'seconds' or 'ops', got {metric!r}")
+        self.hot_factor = hot_factor
+        self.cool_factor = cool_factor
+        self.metric = metric
+        self._marks: list[float] | None = None
+        self._armed = False
+        # Lifetime decision counters (observability).
+        self.windows = 0
+        self.proposals = 0
+
+    # ----------------------------------------------------------- decisions
+
+    def window_loads(self, totals: list[float]) -> list[float]:
+        """Diff the lifetime totals against the marks from the previous
+        evaluation, advancing the marks.  The first call returns the
+        totals themselves (marks start at zero)."""
+        if self._marks is None or len(self._marks) != len(totals):
+            self._marks = [0.0] * len(totals)
+        window = [max(0.0, t - m) for t, m in zip(totals, self._marks)]
+        self._marks = list(totals)
+        return window
+
+    def propose(
+        self, totals: list[float], widths: list[int]
+    ) -> tuple[int, int, int] | None:
+        """One evaluation: window the loads, apply hysteresis, and either
+        propose a ``(src, dst, cols)`` move or return ``None``."""
+        self.windows += 1
+        window = self.window_loads(totals)
+        n = len(window)
+        if n < 2:
+            return None
+        mean = sum(window) / n
+        if mean <= 0.0:
+            return None
+        hottest = max(range(n), key=lambda s: (window[s], -s))
+        ratio = window[hottest] / mean
+        # Thermostat hysteresis: arm above hot_factor, keep proposing one
+        # move per window while armed, disarm below cool_factor.  In the
+        # dead band between the thresholds the previous state persists.
+        if self._armed and ratio < self.cool_factor:
+            self._armed = False
+        if not self._armed and ratio <= self.hot_factor:
+            return None
+        self._armed = True
+        # Donor must keep at least one column; pick the cooler adjacent
+        # neighbor as recipient (boundary moves only trade between
+        # index-adjacent shards, preserving stripe contiguity).
+        if widths[hottest] < 2:
+            return None
+        neighbors = [s for s in (hottest - 1, hottest + 1) if 0 <= s < n]
+        recipient = min(neighbors, key=lambda s: (window[s], s))
+        if window[recipient] >= window[hottest]:
+            return None
+        cols = max(1, widths[hottest] // 4)
+        self.proposals += 1
+        return (hottest, recipient, cols)
+
+    # --------------------------------------------------------- checkpoints
+
+    def state(self) -> dict:
+        """Checkpointable decision state (marks, hysteresis, counters)."""
+        return {
+            "marks": list(self._marks) if self._marks is not None else None,
+            "armed": self._armed,
+            "windows": self.windows,
+            "proposals": self.proposals,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt checkpointed decision state wholesale."""
+        marks = state["marks"]
+        self._marks = list(marks) if marks is not None else None
+        self._armed = state["armed"]
+        self.windows = state["windows"]
+        self.proposals = state["proposals"]

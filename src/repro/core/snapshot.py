@@ -51,7 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Wire-format version of :class:`Checkpoint` payloads.  Bump on any
 #: change to the payload layout; :func:`from_bytes` refuses mismatches.
-CHECKPOINT_VERSION = 1
+#: v2 added the partition map (boundary layout + epoch), the rebalance
+#: policy state and log, per-client partition epochs, and the transport's
+#: stale-epoch reroute counter.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -132,6 +135,7 @@ def _capture_clients(system: "MobiEyesSystem") -> dict[int, dict[str, Any]]:
             "needs_resync": client._needs_resync,
             "suspect": client._suspect,
             "report_epoch": client._report_epoch,
+            "partition_epoch": client.partition_epoch,
         }
     return out
 
@@ -145,6 +149,7 @@ def _capture_transport(system: "MobiEyesSystem") -> dict[str, Any]:
         "envelope_seq": t._envelope_seq,
         "delivered_deferred": t._delivered_deferred,
         "delivered_delay_sum": t._delivered_delay_sum,
+        "stale_epoch_reroutes": t.stale_epoch_reroutes,
     }
 
 
@@ -193,6 +198,15 @@ def _capture_loss(system: "MobiEyesSystem") -> tuple[str, Any]:
     return ("model", loss)
 
 
+def _capture_partition(system: "MobiEyesSystem") -> dict[str, Any] | None:
+    """The mutable partition state: boundary layout and epoch (None for
+    a monolithic server, which has no map)."""
+    partitioner = getattr(system.server, "partitioner", None)
+    if partitioner is None:
+        return None
+    return {"bounds": partitioner.bounds, "epoch": partitioner.epoch}
+
+
 def _check_supported(system: "MobiEyesSystem") -> None:
     if system.trace is not None:
         raise ValueError("cannot checkpoint a system with a trace log attached")
@@ -234,6 +248,15 @@ def checkpoint(system: "MobiEyesSystem") -> Checkpoint:
         "latency": system.latency,
         "loss": _capture_loss(system),
         "server": _capture_server(system),
+        # Partition state must restore *before* the server graft: grafted
+        # RQI registrations split monitoring regions by the live map.
+        "partition": _capture_partition(system),
+        "rebalance_policy": (
+            system._rebalance_policy.state()
+            if system._rebalance_policy is not None
+            else None
+        ),
+        "rebalance_log": system.rebalance_log,
         "next_qid": server._next_qid,
         "report_epochs": server._report_epochs,
         "clients": _capture_clients(system),
@@ -318,6 +341,7 @@ def _graft_clients(system: "MobiEyesSystem", sections: dict[int, dict[str, Any]]
         client._needs_resync = section["needs_resync"]
         client._suspect = section["suspect"]
         client._report_epoch = section["report_epoch"]
+        client.partition_epoch = section["partition_epoch"]
 
 
 def _graft_transport(system: "MobiEyesSystem", section: dict[str, Any]) -> None:
@@ -328,6 +352,7 @@ def _graft_transport(system: "MobiEyesSystem", section: dict[str, Any]) -> None:
     t._envelope_seq = section["envelope_seq"]
     t._delivered_deferred = section["delivered_deferred"]
     t._delivered_delay_sum = section["delivered_delay_sum"]
+    t.stale_epoch_reroutes = section["stale_epoch_reroutes"]
 
 
 def _graft_reliability(system: "MobiEyesSystem", section: dict[str, Any] | None) -> None:
@@ -388,6 +413,11 @@ def restore(cp: Checkpoint) -> "MobiEyesSystem":
         loss=loss,
         latency=p["latency"],
     )
+    partition = p["partition"]
+    if partition is not None:
+        system.server.partitioner.restore_state(
+            tuple(partition["bounds"]), partition["epoch"]
+        )
     _graft_server(system, p["server"])
     system.server._next_qid = p["next_qid"]
     system.server._report_epochs = p["report_epochs"]
@@ -402,6 +432,9 @@ def restore(cp: Checkpoint) -> "MobiEyesSystem":
     system._last_error_step = p["last_error_step"]
     system._last_checkpoint = p["last_checkpoint"]
     system._checkpoints_taken = p["checkpoints_taken"]
+    if p["rebalance_policy"] is not None and system._rebalance_policy is not None:
+        system._rebalance_policy.restore_state(p["rebalance_policy"])
+    system.rebalance_log = p["rebalance_log"]
     system.engine.clock.step = p["step"]
     return system
 

@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 
 from repro.core.client import MobiEyesClient
 from repro.core.config import MobiEyesConfig
-from repro.core.messages import ResyncDirective
+from repro.core.messages import RebalanceDirective, ResyncDirective
 from repro.core.query import QueryId, QuerySpec
 from repro.core.server import MobiEyesServer
 from repro.core.transport import SimulatedTransport
@@ -135,6 +135,21 @@ class MobiEyesSystem:
         self._checkpoint_every = config.checkpoint_every_steps
         self._checkpoints_taken = 0
         self._crash_windows = ()
+        # Online repartitioning: the explicit trigger schedule, the
+        # optional load-driven policy, and the log of applied operations
+        # (consumed by the bench / chaos reports).
+        self._rebalance_schedule = config.rebalance_schedule
+        self._rebalance_every = config.rebalance_every_steps
+        self._rebalance_policy = None
+        self.rebalance_log: list[dict] = []
+        if self._rebalance_every and config.shards > 1:
+            from repro.core.rebalance import RebalancePolicy
+
+            self._rebalance_policy = RebalancePolicy(
+                hot_factor=config.rebalance_hot_factor,
+                cool_factor=config.rebalance_cool_factor,
+                metric=config.rebalance_metric,
+            )
         if getattr(loss, "policy", None) is not None:
             # Fault injection: bind the injector to live positions, turn
             # on server leases, and give every client the fault policy
@@ -279,6 +294,11 @@ class MobiEyesSystem:
     def _movement_phase(self, clock: SimulationClock) -> None:
         if self._crash_windows or self._checkpoint_every:
             self._robustness_housekeeping(clock.step)
+        if self._rebalance_schedule or self._rebalance_policy is not None:
+            # After recovery, before any of this step's traffic: a
+            # repartition never races a parallel shard region, and a crash
+            # window ending this step is rebuilt before boundaries move.
+            self._rebalance_housekeeping(clock.step)
         if self._fastpath is not None:
             self._fastpath.movement_phase(clock)
             return
@@ -334,6 +354,69 @@ class MobiEyesSystem:
                 cp.payload["last_checkpoint"] = cp
                 self._last_checkpoint = cp
                 self._checkpoints_taken += 1
+
+    def _rebalance_housekeeping(self, step: int) -> None:
+        """Scheduled and policy-driven repartitioning, in the same
+        housekeeping slot as crash orchestration (the post-``step - 1``
+        boundary: nothing of step ``step`` has run yet).
+
+        Scheduled triggers fire unconditionally and always broadcast the
+        rebalance directive -- even under a monolithic server or when the
+        operation clamps to a no-op for this shard count -- so a fixed
+        schedule yields identical message counts and energy ledgers
+        across 1/2/4 shards and both engines.  Policy triggers depend on
+        measured load (wall clock under the default metric) and broadcast
+        only after an effective move; that mode trades the cross-run
+        identity claim for actual load awareness.
+        """
+        coordinator = self.server if self.config.shards > 1 else None
+        scheduled = False
+        for op in self._rebalance_schedule:
+            trigger_step, src, dst, cols = op
+            if trigger_step != step:
+                continue
+            scheduled = True
+            if coordinator is not None:
+                summary = coordinator.apply_rebalance(src, dst, cols)
+                summary["step"] = step
+                summary["trigger"] = "schedule"
+                self.rebalance_log.append(summary)
+        if scheduled:
+            epoch = getattr(self.server, "partition_epoch", None)
+            if epoch is None:
+                # Monolith: no map to mutate, but the directive still goes
+                # out (see above); derive the advertised epoch statelessly
+                # so checkpoint/restore replays the same value.
+                epoch = sum(1 for op in self._rebalance_schedule if op[0] <= step)
+            self._broadcast_rebalance(epoch)
+        policy = self._rebalance_policy
+        if (
+            policy is not None
+            and coordinator is not None
+            and step > 0
+            and step % self._rebalance_every == 0
+        ):
+            rows = coordinator.shard_loads()
+            key = "seconds" if policy.metric == "seconds" else "ops"
+            totals = [float(row[key]) for row in rows]
+            widths = [coordinator.partitioner.width_of(row["shard"]) for row in rows]
+            proposal = policy.propose(totals, widths)
+            if proposal is not None:
+                src, dst, cols = proposal
+                summary = coordinator.apply_rebalance(src, dst, cols)
+                summary["step"] = step
+                summary["trigger"] = "policy"
+                self.rebalance_log.append(summary)
+                if summary["cols_moved"]:
+                    self._broadcast_rebalance(coordinator.partition_epoch)
+
+    def _broadcast_rebalance(self, epoch: int) -> None:
+        """Grid-wide directive: clients adopt the advertised epoch."""
+        grid = self.grid
+        self.transport.broadcast(
+            CellRange(0, grid.n_cols - 1, 0, grid.n_rows - 1),
+            RebalanceDirective(epoch=epoch),
+        )
 
     def _reporting_phase(self, clock: SimulationClock) -> None:
         if self._fastpath is not None:

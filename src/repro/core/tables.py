@@ -200,6 +200,31 @@ class ReverseQueryIndex:
         rebuilt from the surviving registries at recovery)."""
         self._cells.clear()
 
+    def extract_region(self, region: CellRange) -> list[tuple[CellIndex, set[QueryId]]]:
+        """Pop and return every non-empty bucket inside ``region``, in the
+        range's deterministic cell order.
+
+        Used by rebalancing to hand a migrating column span's registrations
+        to its new owning shard wholesale: the per-query region clipping was
+        already done when the cells were registered, so the buckets move as
+        opaque sets instead of being recomputed query by query."""
+        out: list[tuple[CellIndex, set[QueryId]]] = []
+        for cell in region:
+            bucket = self._cells.pop(cell, None)
+            if bucket:
+                out.append((cell, bucket))
+        return out
+
+    def absorb(self, buckets: list[tuple[CellIndex, set[QueryId]]]) -> None:
+        """Merge buckets previously popped by :meth:`extract_region`."""
+        cells = self._cells
+        for cell, bucket in buckets:
+            existing = cells.get(cell)
+            if existing is None:
+                cells[cell] = bucket
+            else:
+                existing.update(bucket)
+
     def move(self, qid: QueryId, old_region: CellRange, new_region: CellRange) -> None:
         """Move a query from one monitoring region to another.
 

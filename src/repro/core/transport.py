@@ -74,6 +74,13 @@ class Envelope:
     receiver: ObjectId | None = None
     downlink_seq: int | None = None
     context: object = None  # reliability exchange state, when applicable
+    # Partition epoch at enqueue time: the routing generation this hop was
+    # planned under.  If the map was repartitioned while the hop was in
+    # flight, delivery re-resolves the destination against the live map
+    # (uplinks are routed by ``shard_for_uplink`` at open time, never by a
+    # shard id frozen at enqueue) and the mismatch is counted as a
+    # stale-epoch reroute rather than a drop.
+    epoch: int = 0
 
 
 class DownlinkReceiver(Protocol):
@@ -207,6 +214,9 @@ class SimulatedTransport:
         # Per-step delivery statistics, drained by the metrics collector.
         self._delivered_deferred = 0
         self._delivered_delay_sum = 0
+        # Uplinks opened under a newer partition epoch than they were
+        # enqueued with (run-cumulative; observability for rebalancing).
+        self.stale_epoch_reroutes = 0
         # Optional serialization meter: when armed (the bench's phase-split
         # instrumentation), wall seconds spent on message/envelope
         # accounting -- ledger charging, tracing, batch grouping -- are
@@ -340,6 +350,7 @@ class SimulatedTransport:
             receiver=receiver,
             downlink_seq=downlink_seq,
             context=context,
+            epoch=getattr(self._server, "partition_epoch", 0),
         )
         self._queue.setdefault(envelope.deliver_step, []).append(envelope)
         return envelope
@@ -375,8 +386,11 @@ class SimulatedTransport:
         ``(sender, seq)`` reproduces the per-message drain order exactly.
         """
         units: list[tuple[int, int, Envelope, int]] = []
+        live_epoch = getattr(self._server, "partition_epoch", 0)
         for env in batch:
             if env.kind == "uplink_batch":
+                if env.epoch != live_epoch:
+                    self.stale_epoch_reroutes += 1
                 message: UplinkReportBatch = env.message  # type: ignore[assignment]
                 for k in range(message.count):
                     units.append((message.oid[k], message.seq[k], env, k))
@@ -416,6 +430,11 @@ class SimulatedTransport:
         self._delivered_delay_sum += step - envelope.sent_step
         kind = envelope.kind
         if kind == "uplink":
+            if envelope.epoch != getattr(self._server, "partition_epoch", 0):
+                # The map moved while this hop was in flight; on_uplink
+                # resolves the destination shard against the live map, so
+                # the uplink is rerouted rather than dropped.
+                self.stale_epoch_reroutes += 1
             self._server.on_uplink(envelope.message)
             return
         if kind == "downlink":
@@ -620,6 +639,7 @@ class SimulatedTransport:
                     kind="uplink_batch",
                     message=message,
                     sent_step=step,
+                    epoch=getattr(self._server, "partition_epoch", 0),
                 )
             )
         if meter:

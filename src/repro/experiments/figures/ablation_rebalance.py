@@ -1,0 +1,121 @@
+"""Ablation: load-aware repartitioning under a flash-crowd hotspot.
+
+The paper's server is monolithic; this repo shards it into column
+stripes, which makes the stripe boundaries a load-balancing knob.  This
+ablation crosses a workload skew (``hotspot_fraction``: the share of the
+population compressed into the left 20% x-strip) with the online
+rebalancing policy (:class:`repro.core.RebalancePolicy`, deterministic
+``ops`` metric) and reports the per-shard load split each combination
+ends up with.
+
+Expected shape: on the uniform workload the static stripes are already
+near-balanced and the policy stays quiet (zero moves -- the hysteresis
+dead band is doing its job).  Under the flash crowd the static split
+degrades sharply (the leftmost shards absorb the hotspot) while the
+rebalanced run narrows the stripes over the crowd, cutting the max/mean
+ops imbalance.  In every row the rebalanced run's result sets are
+bit-identical to the static run's: repartitioning moves load, never
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+
+from repro.core import MobiEyesConfig, MobiEyesSystem
+from repro.experiments.runner import (
+    DEFAULT_STEPS,
+    DEFAULT_WARMUP,
+    ExperimentResult,
+    default_params,
+)
+from repro.sim.rng import SimulationRng
+from repro.workload import SimulationParameters, generate_workload
+
+EXP_ID = "ablation-rebalance"
+TITLE = "Shard load balance vs workload skew, static vs rebalanced stripes"
+
+SHARDS = 4
+HOTSPOT_FRACTIONS = (0.0, 0.5)
+REBALANCE_EVERY = 4
+
+
+def _run_one(
+    params: SimulationParameters, steps: int, warmup: int, rebalance: bool
+) -> MobiEyesSystem:
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        step_seconds=params.time_step_seconds,
+        base_station_side=params.base_station_side,
+        shards=SHARDS,
+        rebalance_every_steps=REBALANCE_EVERY if rebalance else 0,
+        rebalance_metric="ops",
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+        warmup_steps=warmup,
+    )
+    system.install_queries(workload.query_specs)
+    system.run(steps)
+    return system
+
+
+def _result_hash(system: MobiEyesSystem) -> str:
+    canonical = {str(qid): sorted(members) for qid, members in sorted(system.results().items())}
+    return hashlib.sha256(json.dumps(canonical, sort_keys=True).encode()).hexdigest()
+
+
+def run(
+    scale: float | None = None,
+    steps: int = DEFAULT_STEPS,
+    warmup: int = DEFAULT_WARMUP,
+) -> ExperimentResult:
+    """Run the experiment; returns the reproduced table."""
+    base = default_params(scale)
+    rows = []
+    for fraction in HOTSPOT_FRACTIONS:
+        params = replace(base, hotspot_fraction=fraction)
+        static = _run_one(params, steps, warmup, rebalance=False)
+        rebalanced = _run_one(params, steps, warmup, rebalance=True)
+        for label, system in (("static", static), ("rebalanced", rebalanced)):
+            loads = system.server.shard_loads()
+            ops = [row["ops"] for row in loads]
+            mean_ops = sum(ops) / len(ops)
+            moves = sum(1 for op in system.rebalance_log if op["cols_moved"])
+            rows.append(
+                (
+                    fraction,
+                    label,
+                    moves,
+                    system.server.partitioner.epoch,
+                    round(max(ops) / mean_ops, 3) if mean_ops else 1.0,
+                    max(ops),
+                    _result_hash(system) == _result_hash(static),
+                )
+            )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=(
+            "hotspot",
+            "stripes",
+            "moves",
+            "epoch",
+            "imbalance-ops",
+            "max-ops",
+            "results-match-static",
+        ),
+        rows=tuple(rows),
+        notes="expected: zero moves on the uniform workload (hysteresis dead "
+        "band); under the flash crowd the policy narrows the hot stripes and "
+        "cuts the max/mean ops imbalance vs the static row; results-match-"
+        "static is True everywhere (repartitioning moves load, not results)",
+    )

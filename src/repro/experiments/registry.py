@@ -11,6 +11,7 @@ from repro.experiments.figures import (
     ablation_message_loss,
     ablation_mobility,
     ablation_propagation,
+    ablation_rebalance,
     analysis_lqt_size,
     analysis_optimal_alpha,
     fig01_server_load_vs_queries,
@@ -59,6 +60,7 @@ _MODULES = (
     ablation_message_loss,
     ablation_mobility,
     ablation_latency,
+    ablation_rebalance,
     analysis_optimal_alpha,
     analysis_lqt_size,
 )

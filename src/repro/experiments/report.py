@@ -119,6 +119,15 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "the oracle by the pipeline depth, with the error bounded by dead "
         "reckoning and the in-flight depth tracking the delay."
     ),
+    "ablation-rebalance": (
+        "Extension (the paper's server is monolithic; this repo shards it "
+        "into column stripes): workload skew vs online stripe rebalancing. "
+        "On the uniform workload the policy stays quiet (hysteresis dead "
+        "band); under a flash crowd the static stripes degrade while the "
+        "rebalanced run narrows the hot stripes and cuts the max/mean ops "
+        "imbalance -- with result sets bit-identical to the static run "
+        "(repartitioning moves load, never results)."
+    ),
     "analysis-alpha": (
         "Extension (the paper omits its analytical optimal-alpha model 'for "
         "space restrictions'): our reconstructed model's messages/second "

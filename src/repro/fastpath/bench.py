@@ -91,6 +91,19 @@ def dense_params(scale: float = 1.0) -> SimulationParameters:
     return params.scaled(scale) if scale != 1.0 else params
 
 
+def skewed_params(scale: float = 1.0) -> SimulationParameters:
+    """The flash-crowd workload: half the population in the left fifth.
+
+    Built on :func:`dense_params` (slow speeds keep the crowd where it was
+    placed for the whole run) with ``hotspot_fraction=0.5``: half the
+    objects compress into the left 20% of the x-axis, so the column-stripe
+    partitioner's leftmost shards absorb most of the uplink and evaluation
+    load.  This is the scenario online rebalancing exists for -- the
+    ``shard_loads`` imbalance is real, persistent, and stripe-aligned.
+    """
+    return replace(dense_params(scale), hotspot_fraction=0.5, hotspot_width=0.2)
+
+
 def xl_params() -> SimulationParameters:
     """The ``--scale xl`` workload: 100,000 objects, 5,000 queries.
 
@@ -115,6 +128,10 @@ def scenario_matrix(
     ``preset="xl"`` replaces the matrix with the single 100k-object
     :func:`xl_params` scenario (vectorized-only, a handful of measured
     steps); it keeps its fixed size regardless of ``smoke``.
+
+    ``preset="skewed"`` replaces the matrix with the single flash-crowd
+    :func:`skewed_params` scenario (both engines, ``smoke``-scaled like
+    the default matrix) -- the rebalancing A/B scenario.
     """
     if preset == "xl":
         return [
@@ -134,13 +151,29 @@ def scenario_matrix(
                 engines=("vectorized",),
             )
         ]
-    if preset != "default":
+    if preset not in ("default", "skewed"):
         raise ValueError(f"unknown scenario preset {preset!r}")
     if smoke:
         scale = bench_scale_from_env(default=SMOKE_SCALE)
         steps, warmup = SMOKE_STEPS, SMOKE_WARMUP
     else:
         scale, steps, warmup = 1.0, DEFAULT_STEPS, DEFAULT_WARMUP
+    skewed = BenchScenario(
+        name="skewed",
+        description=(
+            "dense workload with a flash crowd: half the objects in the "
+            "left 20% x-strip (the rebalancing scenario)"
+        ),
+        params=skewed_params(scale),
+        steps=steps,
+        warmup=warmup,
+        dead_reckoning_threshold=1.0,
+        uplink_latency=latency,
+        downlink_latency=latency,
+        latency_jitter=jitter,
+    )
+    if preset == "skewed":
+        return [skewed]
     return [
         BenchScenario(
             name="dense",
@@ -167,6 +200,7 @@ def scenario_matrix(
             downlink_latency=latency,
             latency_jitter=jitter,
         ),
+        skewed,
     ]
 
 
@@ -219,6 +253,8 @@ def run_engine(
     workers: int = 0,
     executor: str = "thread",
     checkpoint_every: int = 0,
+    rebalance_every: int = 0,
+    rebalance_metric: str = "seconds",
 ) -> dict:
     """Build, warm up, and time one engine on a scenario's workload.
 
@@ -227,6 +263,11 @@ def run_engine(
     checkpoint is serialized, restored into a fresh system, and resumed
     to the end step; the report's ``checkpoint`` section records the
     snapshot cost and whether the resumed run matched bit-for-bit.
+
+    With ``rebalance_every > 0`` (and ``shards > 1``) the load-aware
+    rebalancing policy runs on that cadence; the report gains the applied
+    ``rebalance_log``, the final ``partition_bounds``/``partition_epoch``,
+    and the transport's ``stale_epoch_reroutes`` counter.
     """
     params = scenario.params
     rng = SimulationRng(params.seed)
@@ -248,6 +289,8 @@ def run_engine(
         latency_jitter_steps=scenario.latency_jitter,
         latency_seed=params.seed,
         checkpoint_every_steps=checkpoint_every,
+        rebalance_every_steps=rebalance_every if shards > 1 else 0,
+        rebalance_metric=rebalance_metric,
     )
     built = time.perf_counter()
     system = MobiEyesSystem(
@@ -304,6 +347,11 @@ def run_engine(
             {**row, "seconds": round(row["seconds"], 4)} for row in shard_loads()
         ]
         report["load_balance"] = load_balance(report["shard_loads"])
+        report["partition_bounds"] = list(system.server.partitioner.bounds)
+        report["partition_epoch"] = system.server.partition_epoch
+    if rebalance_every and shards > 1:
+        report["rebalance_log"] = list(system.rebalance_log)
+        report["stale_epoch_reroutes"] = system.transport.stale_epoch_reroutes
     if checkpoint_every:
         report["checkpoint"] = _checkpoint_roundtrip(system, report)
     system.close()
@@ -368,6 +416,8 @@ def load_balance(shard_loads: list[dict]) -> dict:
         "mean_ops": round(mean_ops, 1),
         "imbalance": round(max(ops) / mean_ops, 3) if mean_ops else 1.0,
         "aggregate_seconds": round(sum(seconds), 4),
+        "min_seconds": round(min(seconds), 4),
+        "max_seconds": round(max(seconds), 4),
         "critical_seconds": round(max(seconds), 4),
         "imbalance_seconds": round(max(seconds) / mean_seconds, 3) if mean_seconds else 1.0,
     }
@@ -380,6 +430,8 @@ def run_scenario(
     workers: int = 0,
     executor: str = "thread",
     checkpoint_every: int = 0,
+    rebalance_every: int = 0,
+    rebalance_metric: str = "seconds",
 ) -> dict:
     """Run one scenario through every available engine.
 
@@ -390,6 +442,12 @@ def run_scenario(
     realizes as wall time), ``parallel_wall_speedup`` (pooled over serial
     steps/sec on *this* host), and ``parallel_match`` (bit-identity of
     result hash, message counts, and energy).
+
+    With ``rebalance_every > 0`` (and ``shards > 1``) each engine *also*
+    runs a static-stripes twin first, and the rebalanced run gains a
+    ``rebalance`` block: static vs rebalanced ``imbalance_seconds`` (the
+    A/B the CI gate reads), the ops-based view, the throughput ratio, and
+    a result-hash match flag -- repartitioning moves load, never results.
     """
     params = scenario.params
     row: dict = {
@@ -432,6 +490,12 @@ def run_scenario(
         if pooled:
             # The parallel baseline: same shard count, serial coordinator.
             serial = run_engine(scenario, engine, shards=shards)
+        static = None
+        if rebalance_every and shards > 1:
+            # The rebalance baseline: identical run, frozen stripes.
+            static = run_engine(
+                scenario, engine, shards=shards, workers=workers, executor=executor
+            )
         result = run_engine(
             scenario,
             engine,
@@ -439,8 +503,42 @@ def run_scenario(
             workers=workers,
             executor=executor,
             checkpoint_every=checkpoint_every,
+            rebalance_every=rebalance_every,
+            rebalance_metric=rebalance_metric,
         )
         row["engines"][engine] = result
+        if static is not None:
+            static_balance = static["load_balance"]
+            balanced = result["load_balance"]
+            moves = sum(1 for op in result.get("rebalance_log", []) if op["cols_moved"])
+            result["rebalance"] = {
+                "every_steps": rebalance_every,
+                "metric": rebalance_metric,
+                "moves": moves,
+                "static_imbalance_seconds": static_balance["imbalance_seconds"],
+                "rebalanced_imbalance_seconds": balanced["imbalance_seconds"],
+                "improved": balanced["imbalance_seconds"]
+                < static_balance["imbalance_seconds"],
+                "static_imbalance_ops": static_balance["imbalance"],
+                "rebalanced_imbalance_ops": balanced["imbalance"],
+                "static_steps_per_sec": static["steps_per_sec"],
+                "steps_per_sec_ratio": (
+                    round(result["steps_per_sec"] / static["steps_per_sec"], 3)
+                    if static["steps_per_sec"] > 0
+                    else None
+                ),
+                # Repartitioning moves state between shards, never the
+                # protocol outcome: the rebalanced run's results must equal
+                # the static run's bit for bit.
+                "results_match_static": result["result_hash"] == static["result_hash"],
+            }
+            verdict = "improved" if result["rebalance"]["improved"] else "NOT IMPROVED"
+            log(
+                f"  {scenario.name}/{engine}: rebalance {moves} move(s), "
+                f"imbalance_seconds {static_balance['imbalance_seconds']:.3f}x -> "
+                f"{balanced['imbalance_seconds']:.3f}x ({verdict}, "
+                f"wall ratio {result['rebalance']['steps_per_sec_ratio']}x)"
+            )
         log(
             f"  {scenario.name}/{engine}: {result['steps_per_sec']:.2f} steps/s "
             f"({result['ms_per_step']:.1f} ms/step)"
@@ -562,6 +660,10 @@ def compare_reports(
     # full system), so timings only gate against a same-cadence baseline.
     if (new.get("checkpoint_every") or 0) != (baseline.get("checkpoint_every") or 0):
         return failures
+    # Rebalancing perturbs wall time (twin runs) *and* message counts
+    # (directive downlinks), so it only gates against a same-knob baseline.
+    if (new.get("rebalance_every") or 0) != (baseline.get("rebalance_every") or 0):
+        return failures
     baseline_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
     for row in new.get("scenarios", []):
         base_row = baseline_rows.get(row["name"])
@@ -627,6 +729,8 @@ def run_bench(
     executor: str = "thread",
     scale: str = "default",
     checkpoint_every: int = 0,
+    rebalance_every: int = 0,
+    rebalance_metric: str = "seconds",
 ) -> Path:
     """Run the full matrix and write ``BENCH_<tag>.json``; returns the path.
 
@@ -652,6 +756,11 @@ def run_bench(
         + (f", latency={latency}" if latency else "")
         + (f", jitter={jitter}" if jitter else "")
         + (f", checkpoint_every={checkpoint_every}" if checkpoint_every else "")
+        + (
+            f", rebalance_every={rebalance_every} ({rebalance_metric})"
+            if rebalance_every
+            else ""
+        )
     )
     report = {
         "tag": tag,
@@ -664,6 +773,8 @@ def run_bench(
         "scale": scale,
         "latency": {"uplink_steps": latency, "downlink_steps": latency, "jitter_steps": jitter},
         "checkpoint_every": checkpoint_every,
+        "rebalance_every": rebalance_every,
+        "rebalance_metric": rebalance_metric if rebalance_every else None,
         "created_unix": int(time.time()),
         "scenarios": [
             run_scenario(
@@ -673,6 +784,8 @@ def run_bench(
                 workers=workers,
                 executor=executor,
                 checkpoint_every=checkpoint_every,
+                rebalance_every=rebalance_every,
+                rebalance_metric=rebalance_metric,
             )
             for scenario in scenarios
         ],

@@ -8,9 +8,12 @@ loss), runs the system step by step, and compares the protocol's results
 against the exact oracle after every step.
 
 The report is a plain JSON-safe dict and is bit-identical across runs
-with the same arguments: it contains no wall-clock values, every float
-is computed by the same deterministic arithmetic, and the two engines
-produce the same report apart from the ``engine`` field itself.
+with the same arguments -- with one carve-out: the ``shard_loads`` /
+``load_balance`` blocks include wall-clock seconds views (charged shard
+time, ``imbalance_seconds``, critical min/max), which vary run to run.
+Everything the differential checks grade (``result_hash``, ``drops``,
+``message_counts``, ``per_step``) contains no wall-clock values and the
+two engines produce it identically apart from the ``engine`` field.
 
 Convergence metrics:
 
@@ -74,6 +77,34 @@ def canonical_schedule(steps: int, oids: list, layout: BaseStationLayout, uod) -
     return FaultSchedule(disconnects=disconnects, outages=outages)
 
 
+def canonical_rebalance_schedule(
+    steps: int, shards: int, crash_start: int | None = None, crash_end: int | None = None
+) -> tuple[tuple[int, int, int, int], ...]:
+    """Fixed repartition triggers that deliberately race the fault windows.
+
+    One column moves right between the first shard pair while the rolling
+    disconnections are open, and moves back while the station outage is
+    live (directive downlinks through the dead station are dropped, so
+    clients under the outage keep routing with a stale epoch until the
+    resync).  With a crash window (``crash_start``/``crash_end``), two
+    more triggers bracket it on the *crashed* shard pair: one lands while
+    the shard's soft state is erased -- recovery must rebuild against the
+    post-move boundaries -- and one fires right after recovery completes.
+    Steps land strictly inside the run so every move is observable.
+    """
+    disc_start = max(1, steps // 5)
+    outage_start = max(1, steps // 4)
+    ops = [
+        (disc_start + 1, 0, 1, 1),
+        (outage_start + 2, 1, 0, 1),
+    ]
+    if crash_start is not None and crash_end is not None:
+        hi = shards - 1
+        ops.append((crash_start + 1, hi - 1, hi, 1))
+        ops.append((crash_end + 1, hi, hi - 1, 1))
+    return tuple(sorted(op for op in ops if op[0] < steps))
+
+
 def _make_channel(rng: SimulationRng, rate: float, burst: bool):
     """A loss channel with mean rate ``rate`` (None when rate is zero)."""
     if rate <= 0.0:
@@ -108,6 +139,7 @@ def run_chaos(
     executor: str = "thread",
     crash: bool = False,
     checkpoint_every: int = 0,
+    rebalance: bool = False,
 ) -> dict:
     """Run one chaos scenario and return the JSON-safe report.
 
@@ -118,14 +150,36 @@ def run_chaos(
     ``max(2, steps // 8)``) at the window end, followed by a grid-wide
     client resync.  Crash runs are always graded against the fault-free
     lockstep twin, even at zero latency.
+
+    With ``rebalance=True`` (requires ``shards >= 2``) the run applies
+    :func:`canonical_rebalance_schedule`: fixed repartition triggers
+    placed inside the fault windows (and, with ``crash``, bracketing the
+    crash window), so boundary migration races outages, disconnections,
+    and shard recovery.  The grade stays the fault-free twin -- and the
+    twin deliberately does *not* rebalance, which is the stronger check:
+    reconvergence proves repartitioning moved load without ever moving
+    results, even mid-fault.
     """
     if crash and shards < 2:
         raise ValueError("crash injection requires shards >= 2 (a shard must die)")
+    if rebalance and shards < 2:
+        raise ValueError("rebalancing requires shards >= 2 (a boundary must exist)")
     params = paper_defaults().scaled(scale)
     rng = SimulationRng(seed)
     workload = generate_workload(params, rng.fork(1))
     if crash and checkpoint_every <= 0:
         checkpoint_every = max(2, steps // 8)
+    crash_start = crash_end = None
+    if crash:
+        # The window opens only after the first cadence checkpoint exists
+        # and closes with enough run left to observe reconvergence.
+        crash_start = max(checkpoint_every + 1, steps // 3)
+        crash_end = crash_start + min(8, max(2, steps // 5))
+    rebalance_schedule = (
+        canonical_rebalance_schedule(steps, shards, crash_start, crash_end)
+        if rebalance
+        else ()
+    )
     config = MobiEyesConfig(
         uod=params.uod,
         alpha=params.alpha,
@@ -140,19 +194,14 @@ def run_chaos(
         latency_jitter_steps=latency_jitter,
         latency_seed=seed,
         checkpoint_every_steps=checkpoint_every if crash else 0,
+        rebalance_schedule=rebalance_schedule,
     )
     layout = BaseStationLayout(Grid(params.uod, params.alpha), params.base_station_side)
     schedule = canonical_schedule(steps, [obj.oid for obj in workload.objects], layout, params.uod)
     if crash:
-        # The window opens only after the first cadence checkpoint exists
-        # and closes with enough run left to observe reconvergence.
-        crash_start = max(checkpoint_every + 1, steps // 3)
-        crash_len = min(8, max(2, steps // 5))
         schedule = dataclasses.replace(
             schedule,
-            crashes=(
-                CrashWindow(shard=shards - 1, start=crash_start, end=crash_start + crash_len),
-            ),
+            crashes=(CrashWindow(shard=shards - 1, start=crash_start, end=crash_end),),
         )
     channel_rng = rng.fork(3)
     injector = FaultInjector(
@@ -181,12 +230,15 @@ def run_chaos(
     # with the fault-free run proves the rebuilt shard converged.
     latency_on = bool(uplink_latency or downlink_latency or latency_jitter)
     twin = None
-    if latency_on or crash:
+    if latency_on or crash or rebalance:
         twin_rng = SimulationRng(seed)
         twin_workload = generate_workload(params, twin_rng.fork(1))
         twin = MobiEyesSystem(
-            # The fault-free twin needs no recovery basis; skip its cadence.
-            dataclasses.replace(config, checkpoint_every_steps=0),
+            # The fault-free twin needs no recovery basis (skip its
+            # cadence) and no boundary moves: grading the rebalanced run
+            # against a static-stripes twin proves migration never moved
+            # results.
+            dataclasses.replace(config, checkpoint_every_steps=0, rebalance_schedule=()),
             list(twin_workload.objects),
             twin_rng.fork(2),
             velocity_changes_per_step=params.velocity_changes_per_step,
@@ -265,9 +317,10 @@ def run_chaos(
 
     ledger = system.ledger
     reliability = system.transport.reliability
-    # Per-shard load split (satellite of the balance report in bench):
-    # the seconds-based fields are wall-clock and would break the report's
-    # bit-identity guarantee, so only the deterministic counters survive.
+    # Per-shard load split (satellite of the balance report in bench).
+    # The seconds views (charged wall time, imbalance_seconds, critical
+    # min/max) are the docstring's bit-identity carve-out: they vary run
+    # to run and the differential checks never grade them.
     shard_balance = None
     shard_loads = None
     if shards > 1:
@@ -275,9 +328,19 @@ def run_chaos(
 
         rows = system.server.shard_loads()
         balance = load_balance(rows)
-        shard_loads = [{k: row[k] for k in row if k != "seconds"} for row in rows]
-        shard_balance = {
-            k: balance[k] for k in ("num_shards", "min_ops", "max_ops", "mean_ops", "imbalance")
+        shard_loads = [
+            {k: (round(v, 4) if k == "seconds" else v) for k, v in row.items()} for row in rows
+        ]
+        shard_balance = dict(balance)
+    rebalance_report = None
+    if rebalance:
+        partitioner = system.server.partitioner
+        rebalance_report = {
+            "schedule": [list(op) for op in rebalance_schedule],
+            "log": list(system.rebalance_log),
+            "partition_bounds": list(partitioner.bounds),
+            "partition_epoch": partitioner.epoch,
+            "stale_epoch_reroutes": system.transport.stale_epoch_reroutes,
         }
     crash_report = None
     if crash:
@@ -313,6 +376,7 @@ def run_chaos(
         },
         "schedule": schedule.describe(),
         "crash": crash_report,
+        "rebalance": rebalance_report,
         "shard_loads": shard_loads,
         "load_balance": shard_balance,
         "per_step": {

@@ -33,11 +33,21 @@ class Workload:
 
 
 def generate_objects(params: SimulationParameters, rng: SimulationRng) -> list[MovingObject]:
-    """The object population of Table 1."""
+    """The object population of Table 1.
+
+    With ``hotspot_fraction > 0`` the first ``round(N * fraction)`` objects
+    form a flash crowd: their drawn x coordinate is compressed affinely
+    into the left ``hotspot_width`` strip of the UoD *after* the draw, so
+    the RNG stream is byte-identical to the uniform workload (turning the
+    hotspot on or off never perturbs speeds, directions, or classes).
+    """
     uod = params.uod
+    hot = round(params.num_objects * params.hotspot_fraction)
     objects: list[MovingObject] = []
     for oid in range(params.num_objects):
         pos = Point(rng.uniform(uod.lx, uod.ux), rng.uniform(uod.ly, uod.uy))
+        if oid < hot:
+            pos = Point(uod.lx + (pos.x - uod.lx) * params.hotspot_width, pos.y)
         max_speed = rng.zipf_choice(params.max_speeds, params.speed_zipf_exponent)
         vel = Vector.from_polar(rng.direction(), rng.uniform(0.0, max_speed))
         objects.append(

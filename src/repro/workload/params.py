@@ -44,11 +44,23 @@ class SimulationParameters:
     max_speeds: tuple[float, ...] = (100.0, 50.0, 150.0, 200.0, 250.0)
     speed_zipf_exponent: float = 0.8
     radius_factor: float = 1.0  # Fig. 12's multiplier on query radii
+    # Flash-crowd skew: this fraction of the population is squeezed into a
+    # vertical strip covering ``hotspot_width`` of the x-axis at the left
+    # edge of the UoD.  0.0 (the default) is the paper's uniform placement.
+    # The strip is vertical on purpose: the sharded server partitions the
+    # grid into column stripes, so an x-axis hotspot lands on few shards
+    # and actually skews per-shard load.
+    hotspot_fraction: float = 0.0
+    hotspot_width: float = 0.2
     seed: int = 42
 
     def __post_init__(self) -> None:
         if self.num_objects <= 0 or self.num_queries < 0:
             raise ValueError("need a positive object population")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must lie in [0, 1]")
+        if not 0.0 < self.hotspot_width <= 1.0:
+            raise ValueError("hotspot_width must lie in (0, 1]")
         if self.num_queries > self.num_objects:
             raise ValueError("cannot have more focal objects than objects")
         if self.velocity_changes_per_step > self.num_objects:

@@ -82,12 +82,15 @@ class TestBench:
             executor="thread",
             scale="default",
             checkpoint_every=0,
+            rebalance_every=0,
+            rebalance_metric="seconds",
         ):
             calls.update(
                 tag=tag, smoke=smoke, out_dir=out_dir, shards=shards,
                 latency=latency, jitter=jitter, compare=compare,
                 workers=workers, executor=executor, scale=scale,
                 checkpoint_every=checkpoint_every,
+                rebalance_every=rebalance_every, rebalance_metric=rebalance_metric,
             )
             return tmp_path / "BENCH_x.json"
 
@@ -101,6 +104,7 @@ class TestBench:
             "latency": 2, "jitter": 0, "compare": None,
             "workers": 4, "executor": "process", "scale": "default",
             "checkpoint_every": 0,
+            "rebalance_every": 0, "rebalance_metric": "seconds",
         }
 
     def test_regression_gate_exit_code(self, monkeypatch, tmp_path):

@@ -98,3 +98,83 @@ class TestRegionSplit:
         assert list(part.shards_of_region(CellRange(3, 6, 0, 0))) == [0, 1]
         assert list(part.shards_of_region(CellRange(0, 4, 0, 0))) == [0]
         assert list(part.shards_of_region(CellRange(5, 9, 0, 0))) == [1]
+
+
+class TestMutation:
+    """The epoch-versioned mutable side of PartitionMap."""
+
+    def test_initial_epoch_and_bounds(self):
+        part = GridPartitioner(make_grid(cols=10), 4)
+        assert part.epoch == 0
+        assert part.bounds == (0, 2, 5, 7, 10)
+        assert [part.width_of(s) for s in range(4)] == [2, 3, 2, 3]
+
+    def test_transfer_moves_columns_and_bumps_epoch(self):
+        part = GridPartitioner(make_grid(cols=10), 2)  # stripes 0-4, 5-9
+        moved = part.transfer(0, 1, 2)
+        assert moved == 2
+        assert part.epoch == 1
+        assert part.columns_of(0) == (0, 2)
+        assert part.columns_of(1) == (3, 9)
+        assert part.shard_of_cell((3, 0)) == 1
+
+    def test_transfer_clamps_to_donor_width(self):
+        part = GridPartitioner(make_grid(cols=10), 2)
+        moved = part.transfer(0, 1, 99)
+        assert moved == 5  # shard 0 had exactly 5 columns
+        assert part.width_of(0) == 0
+        assert part.width_of(1) == 10
+        assert part.epoch == 1
+
+    def test_transfer_non_adjacent_or_noop_keeps_epoch(self):
+        part = GridPartitioner(make_grid(cols=10), 4)
+        with pytest.raises(ValueError):
+            part.transfer(0, 2, 1)
+        assert part.transfer(0, 1, 0) == 0
+        assert part.epoch == 0
+
+    def test_empty_stripe_receives_no_routes(self):
+        part = GridPartitioner(make_grid(cols=10), 2)
+        part.transfer(0, 1, 5)  # shard 0 emptied
+        assert part.width_of(0) == 0
+        for col in range(10):
+            assert part.shard_of_cell((col, 0)) == 1
+        whole = CellRange(0, 9, 0, 6)
+        assert part.clip(whole, 0) is None
+        assert [s for s, _ in part.split(whole)] == [1]
+        assert list(part.shards_of_region(whole)) == [1]
+
+    def test_single_column_stripe_is_a_valid_donor_once(self):
+        part = GridPartitioner(make_grid(cols=3), 3)  # one column each
+        assert [part.width_of(s) for s in range(3)] == [1, 1, 1]
+        assert part.transfer(1, 2, 1) == 1
+        assert part.width_of(1) == 0
+        # A second donation from the now-empty stripe is a no-op.
+        assert part.transfer(1, 2, 1) == 0
+        assert part.epoch == 1
+
+    def test_epoch_monotone_under_split_merge_split(self):
+        part = GridPartitioner(make_grid(cols=12), 3)
+        epochs = [part.epoch]
+        part.split_stripe(0)
+        epochs.append(part.epoch)
+        part.merge_stripes(0, 1)
+        epochs.append(part.epoch)
+        part.split_stripe(1)
+        epochs.append(part.epoch)
+        assert epochs == sorted(set(epochs)), "epoch must strictly increase"
+        assert sum(part.width_of(s) for s in range(3)) == 12
+
+    def test_restore_state_roundtrip_and_validation(self):
+        part = GridPartitioner(make_grid(cols=10), 4)
+        part.transfer(0, 1, 2)
+        saved_bounds, saved_epoch = part.bounds, part.epoch
+        other = GridPartitioner(make_grid(cols=10), 4)
+        other.restore_state(saved_bounds, saved_epoch)
+        assert other.bounds == saved_bounds and other.epoch == saved_epoch
+        with pytest.raises(ValueError):
+            other.restore_state((0, 3, 5, 10), saved_epoch)  # wrong length
+        with pytest.raises(ValueError):
+            other.restore_state((0, 5, 3, 8, 10), saved_epoch)  # not monotone
+        with pytest.raises(ValueError):
+            other.restore_state((1, 3, 5, 8, 10), saved_epoch)  # wrong span

@@ -26,7 +26,7 @@ def test_artifact_shape(smoke_artifact):
     assert smoke_artifact["tag"] == "test"
     assert smoke_artifact["mode"] == "smoke"
     names = [row["name"] for row in smoke_artifact["scenarios"]]
-    assert names == ["dense", "paper"]
+    assert names == ["dense", "paper", "skewed"]
     for row in smoke_artifact["scenarios"]:
         ref = row["engines"]["reference"]
         assert ref["steps_per_sec"] > 0

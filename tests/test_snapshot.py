@@ -258,10 +258,12 @@ class TestChaosCrash:
         assert any(d > 0 for d in divergence[window["start"] - 1 : window["end"]])
         # ... and the graded reconvergence window covers the crash end.
         assert any(r["window_end"] == window["end"] for r in report["reconvergence"])
-        # Satellite: the chaos report carries the per-shard load split.
+        # Satellite: the chaos report carries the per-shard load split,
+        # seconds views included (the report's bit-identity carve-out).
         assert len(report["shard_loads"]) == 2
-        assert "seconds" not in report["shard_loads"][0]
+        assert "seconds" in report["shard_loads"][0]
         assert report["load_balance"]["num_shards"] == 2
+        assert "imbalance_seconds" in report["load_balance"]
 
     def test_chaos_crash_requires_shards(self):
         with pytest.raises(ValueError, match="shards"):
