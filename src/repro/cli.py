@@ -9,6 +9,7 @@ Usage::
     python -m repro simulate --objects 400 --queries 40 --steps 30
     python -m repro bench --smoke                # engine benchmark artifact
     python -m repro chaos --smoke                # fault-injection harness
+    python -m repro serve --steps 60             # twin-graded service soak
 
 ``run`` prints each experiment's table (the same output the benchmark
 harness produces); ``simulate`` runs a single ad-hoc MobiEyes simulation
@@ -245,6 +246,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.soak import run_soak
+
+    if args.engine == "vectorized":
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            print("numpy is required for --engine vectorized", file=sys.stderr)
+            return 2
+    if args.forever and args.steps is not None:
+        print("--forever and --steps are mutually exclusive", file=sys.stderr)
+        return 2
+    steps = None if args.forever else (args.steps if args.steps is not None else 60)
+    tag = args.tag or ("forever" if args.forever else "local")
+    report = run_soak(
+        steps=steps,
+        engine=args.engine,
+        shards=args.shards,
+        scenario=args.scenario,
+        scale=args.scale,
+        seed=args.seed,
+        elastic=args.elastic,
+        max_shards=args.max_shards,
+        rebalance_every=args.rebalance_every,
+        ingest_rate=args.ingest_rate,
+        ingest_budget=args.ingest_budget,
+        queue_limit=args.queue_limit,
+        query_churn_every=args.query_churn,
+        latency=args.latency,
+        jitter=args.latency_jitter,
+        twin=not args.no_twin,
+        report_every=args.report_every,
+        tag=tag,
+        out_dir=args.output,
+    )
+    failed = False
+    twin_block = report.get("twin")
+    if twin_block is not None and not twin_block["results_match"]:
+        print(
+            "ELASTIC DIVERGENCE: results differ from the static-fleet twin "
+            f"(first at step {twin_block['first_divergence_step']})",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
     from repro.experiments.runner import DEFAULT_STEPS
@@ -478,6 +526,118 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="directory for the artifact (default: current directory)"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running service soak (queue-driven ingest, "
+        "elastic scale-out, twin-graded), write SOAK_<tag>.json",
+    )
+    serve.add_argument(
+        "--steps", type=int, default=None, help="bounded soak length (default 60)"
+    )
+    serve.add_argument(
+        "--forever",
+        action="store_true",
+        help="run until interrupted; Ctrl-C finalizes and writes the report",
+    )
+    serve.add_argument(
+        "--engine", choices=("reference", "vectorized"), default="reference"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="initial server shards (elastic modes need >= 2)",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=("skewed", "dense", "paper"),
+        default="skewed",
+        help="workload preset (default skewed: the flash-crowd scenario "
+        "elastic scale-out exists for)",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.02, help="workload scale (1.0 = paper)"
+    )
+    serve.add_argument("--seed", type=int, default=11, help="workload + script seed")
+    serve.add_argument(
+        "--elastic",
+        choices=("policy", "schedule", "both", "off"),
+        default="policy",
+        help="scale-out mode: 'policy' arms the elastic thermostat "
+        "(deterministic ops metric), 'schedule' applies one split and one "
+        "merge at fixed steps, 'both' combines them, 'off' keeps the "
+        "fleet fixed (no twin)",
+    )
+    serve.add_argument(
+        "--max-shards",
+        type=int,
+        default=4,
+        help="fleet ceiling for --elastic policy (default 4)",
+    )
+    serve.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=5,
+        help="policy evaluation cadence in steps for --elastic policy",
+    )
+    serve.add_argument(
+        "--ingest-rate",
+        type=int,
+        default=6,
+        help="scripted external position reports submitted per step",
+    )
+    serve.add_argument(
+        "--ingest-budget",
+        type=int,
+        default=4,
+        help="admission budget per tick (0 = drain the whole queue); the "
+        "queue bound derives from it, so rate > budget exercises "
+        "backpressure rejects",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=0,
+        help="explicit ingest queue bound (0 = derive from the budget and "
+        "the latency pipeline depth)",
+    )
+    serve.add_argument(
+        "--query-churn",
+        type=int,
+        default=10,
+        help="install a runtime query every N steps and remove it half a "
+        "period later (0 = no churn)",
+    )
+    serve.add_argument(
+        "--latency",
+        type=int,
+        default=0,
+        help="per-link delivery delay in steps (uplink and downlink)",
+    )
+    serve.add_argument(
+        "--latency-jitter",
+        type=int,
+        default=0,
+        help="seeded random extra delay in [0, N] steps on top of --latency",
+    )
+    serve.add_argument(
+        "--no-twin",
+        action="store_true",
+        help="skip the static-fleet lockstep twin (faster, ungraded)",
+    )
+    serve.add_argument(
+        "--report-every",
+        type=int,
+        default=0,
+        help="rewrite SOAK_<tag>.json every N steps while running "
+        "(progress for --forever soaks)",
+    )
+    serve.add_argument("--tag", default=None, help="artifact tag (default 'local')")
+    serve.add_argument(
+        "--output", default=None, help="directory for the artifact (default: cwd)"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     report = sub.add_parser(
         "report", help="run every experiment and write the EXPERIMENTS.md report"

@@ -7,7 +7,7 @@ from repro.core.coordinator import Coordinator
 from repro.core.focal import FocalTracker
 from repro.core.load import LoadAccount
 from repro.core.partition import GridPartitioner, PartitionMap
-from repro.core.rebalance import RebalancePolicy
+from repro.core.rebalance import ElasticPolicy, RebalancePolicy
 from repro.core.propagation import PropagationMode
 from repro.core.query import (
     AndFilter,
@@ -24,6 +24,7 @@ from repro.core.registry import QueryRegistry
 from repro.core.safe_period import safe_period_hours
 from repro.core.server import MobiEyesServer
 from repro.core.shard import ServerShard
+from repro.core.service import MobiEyesService
 from repro.core.system import MobiEyesSystem
 from repro.core.tables import (
     FocalObjectTable,
@@ -43,6 +44,7 @@ __all__ = [
     "FocalTracker",
     "GridPartitioner",
     "PartitionMap",
+    "ElasticPolicy",
     "RebalancePolicy",
     "LoadAccount",
     "NotFilter",
@@ -54,6 +56,7 @@ __all__ = [
     "MobiEyesClient",
     "MobiEyesConfig",
     "MobiEyesServer",
+    "MobiEyesService",
     "MobiEyesSystem",
     "QueryRegistry",
     "ServerShard",

@@ -111,6 +111,50 @@ class MobiEyesConfig:
         rebalance_metric: which per-shard load figure drives the policy:
             ``"seconds"`` (wall-clock critical path, the default) or
             ``"ops"`` (deterministic operation counters).
+        elastic_max_shards: ceiling of the *elastic* scale-out policy.
+            ``0`` (the default) disables elasticity; a positive value lets
+            the rebalance policy change the shard *count* at its cadence
+            (``rebalance_every_steps``): a persistently hot stripe is
+            split into a newly spawned shard (up to this many live
+            shards) and a persistently cold stripe is merged away and its
+            slot retired.  Requires ``shards >= 2``, a positive
+            ``rebalance_every_steps``, and the serial executor
+            (``shard_workers == 0`` -- the parallel executors pin the
+            shard list at bind time).
+        elastic_min_shards: floor of elastic scale-in (merges never drop
+            the live count below this; minimum 2).
+        elastic_split_after: consecutive hot policy windows a stripe must
+            stay above ``rebalance_hot_factor`` before it is split into a
+            new shard (transfers to neighbors are tried first).
+        elastic_merge_factor: a stripe whose window load falls below this
+            fraction of the mean is *cold*; cold streaks drive merges.
+        elastic_merge_after: consecutive cold windows a stripe must stay
+            below ``elastic_merge_factor`` before it is merged away.
+        elastic_schedule: explicit, deterministic elastic triggers:
+            ``(step, "split", donor)`` spawns a new shard from ``donor``'s
+            stripe and ``(step, "merge", sid, into)`` drains shard ``sid``
+            into its stripe-adjacent neighbor ``into`` and retires the
+            slot, both at the top of ``step``.  The reproducible
+            counterpart of the elastic policy (CI's soak smoke uses it);
+            requires ``shards >= 2`` and the serial executor, and cannot
+            be combined with ``rebalance_schedule`` (a fixed
+            ``(src, dst)`` schedule is written against fixed shard ids).
+        ingest_budget_per_step: service-mode admission budget -- how many
+            queued ingest operations (position updates, query installs or
+            removals) a :class:`~repro.core.service.MobiEyesService`
+            admits into the system per tick.  ``0`` (the default) admits
+            everything queued.
+        ingest_queue_limit: bound of the service ingest queue.  ``0``
+            derives the bound from the admission budget and the latency
+            model's pipeline depth (budget x (1 + uplink + downlink +
+            jitter steps)), or leaves the queue unbounded when the budget
+            is also 0.  A submission that would overflow the bound is
+            rejected -- counted in ``backpressure_rejects``, never
+            silently dropped.
+        ingest_inflight_limit: service-mode backpressure on the transport:
+            while more than this many envelopes are pending delivery, the
+            service defers the whole tick's admissions (counted as
+            deferrals).  ``0`` (the default) disables the inflight gate.
     """
 
     uod: Rect
@@ -139,6 +183,15 @@ class MobiEyesConfig:
     rebalance_hot_factor: float = 1.5
     rebalance_cool_factor: float = 1.2
     rebalance_metric: str = "seconds"
+    elastic_max_shards: int = 0
+    elastic_min_shards: int = 2
+    elastic_split_after: int = 2
+    elastic_merge_factor: float = 0.5
+    elastic_merge_after: int = 3
+    elastic_schedule: tuple[tuple, ...] = ()
+    ingest_budget_per_step: int = 0
+    ingest_queue_limit: int = 0
+    ingest_inflight_limit: int = 0
     eval_period_hours: float = field(init=False, repr=False, compare=False, default=0.0)
 
     def __post_init__(self) -> None:
@@ -189,6 +242,57 @@ class MobiEyesConfig:
             raise ValueError(
                 f"rebalance_metric must be 'seconds' or 'ops', got {self.rebalance_metric!r}"
             )
+        if self.elastic_max_shards < 0:
+            raise ValueError("elastic_max_shards must be non-negative")
+        if self.elastic_min_shards < 2:
+            raise ValueError("elastic_min_shards must be at least 2")
+        if self.elastic_split_after < 1 or self.elastic_merge_after < 1:
+            raise ValueError("elastic streak lengths must be at least 1")
+        if not 0.0 < self.elastic_merge_factor < 1.0:
+            raise ValueError("elastic_merge_factor must lie strictly between 0 and 1")
+        for op in self.elastic_schedule:
+            if (
+                len(op) < 3
+                or not isinstance(op[0], int)
+                or op[0] < 1
+                or op[1] not in ("split", "merge")
+            ):
+                raise ValueError(
+                    f"elastic_schedule entries must be (step, 'split', donor) or "
+                    f"(step, 'merge', sid, into), got {op!r}"
+                )
+            if op[1] == "split" and (len(op) != 3 or not isinstance(op[2], int) or op[2] < 0):
+                raise ValueError(f"invalid elastic split op {op!r}")
+            if op[1] == "merge" and (
+                len(op) != 4
+                or any(not isinstance(v, int) or v < 0 for v in op[2:])
+                or op[2] == op[3]
+            ):
+                raise ValueError(f"invalid elastic merge op {op!r}")
+        elastic = self.elastic_max_shards > 0 or bool(self.elastic_schedule)
+        if elastic:
+            if self.shards < 2:
+                raise ValueError("elastic scale-out requires a sharded server (shards >= 2)")
+            if self.shard_workers > 0:
+                raise ValueError(
+                    "elastic scale-out requires the serial executor (shard_workers == 0): "
+                    "parallel executors pin the shard list at bind time"
+                )
+            if self.rebalance_schedule:
+                raise ValueError(
+                    "elastic_schedule / elastic_max_shards cannot be combined with "
+                    "rebalance_schedule (fixed (src, dst) schedules assume fixed ids)"
+                )
+        if self.elastic_max_shards > 0:
+            if self.rebalance_every_steps < 1:
+                raise ValueError(
+                    "elastic_max_shards requires a positive rebalance_every_steps cadence"
+                )
+            if self.elastic_max_shards < self.elastic_min_shards:
+                raise ValueError("elastic_max_shards must be >= elastic_min_shards")
+        for knob in ("ingest_budget_per_step", "ingest_queue_limit", "ingest_inflight_limit"):
+            if getattr(self, knob) < 0:
+                raise ValueError(f"{knob} must be non-negative")
         # Cached once: the object-side evaluation period in hours, used by
         # every safe-period comparison (the config is frozen, so the inputs
         # cannot change after construction).

@@ -82,6 +82,7 @@ class Coordinator:
         # MobiEyesServer._report_epoch).
         self._report_epochs: dict[ObjectId, int] = {}
         self._leases_on = False
+        self._lease_steps = 0
         # Optional parallel shard executor (attach_executor); None keeps
         # the historical serial loops.
         self._executor = None
@@ -90,26 +91,14 @@ class Coordinator:
         # wall time of the step on enough idle cores.
         self.last_critical_seconds = 0.0
         self.total_critical_seconds = 0.0
-        self.shards: list[ServerShard] = []
-        for sid in range(self.partitioner.num_shards):
-            registry = QueryRegistry(
-                on_added=self._added_callback(sid),
-                on_removed=self._removed_callback(sid),
-                subscribers=self._subscribers,
-            )
-            tracker = FocalTracker(on_change=self._fot_callback(sid))
-            self.shards.append(
-                ServerShard(
-                    grid,
-                    transport,
-                    config,
-                    coordinator=self,
-                    shard_id=sid,
-                    partitioner=self.partitioner,
-                    registry=registry,
-                    tracker=tracker,
-                )
-            )
+        # Elastic lifecycle: ``shards`` indices are *stable slot ids* --
+        # a retired shard's slot stays in place (empty) so directories,
+        # reliability endpoints, and checkpoints never renumber; a later
+        # spawn recycles the lowest retired slot before growing the list.
+        self._retired: set[int] = set()
+        self.shards: list[ServerShard] = [
+            self._make_shard(sid) for sid in range(self.partitioner.num_shards)
+        ]
         self._sqt_view = _SqtView(self)
         self._fot_view = _FotView(self)
         self._rqi_view = _RqiView(self)
@@ -118,9 +107,36 @@ class Coordinator:
 
     @property
     def num_shards(self) -> int:
-        """The effective shard count (requests beyond the grid's columns
-        are clamped by the partitioner)."""
+        """The effective *live* shard count (requests beyond the grid's
+        columns are clamped by the partitioner; retired slots excluded)."""
         return self.partitioner.num_shards
+
+    def _make_shard(self, sid: int) -> ServerShard:
+        """Build one shard slot wired into the shared directories.
+
+        Used by the constructor, by :meth:`spawn_shard` when the fleet
+        grows past every previously built slot, and by
+        :meth:`ensure_shard_slots` when a checkpoint restores a larger
+        fleet than the config's initial count."""
+        registry = QueryRegistry(
+            on_added=self._added_callback(sid),
+            on_removed=self._removed_callback(sid),
+            subscribers=self._subscribers,
+        )
+        tracker = FocalTracker(on_change=self._fot_callback(sid))
+        shard = ServerShard(
+            self.grid,
+            self.transport,
+            self.config,
+            coordinator=self,
+            shard_id=sid,
+            partitioner=self.partitioner,
+            registry=registry,
+            tracker=tracker,
+        )
+        if self._leases_on:
+            shard.enable_leases(self._lease_steps)
+        return shard
 
     # ------------------------------------------------ directory callbacks
 
@@ -291,14 +307,16 @@ class Coordinator:
             "focals_migrated": 0,
             "epoch": part.epoch,
         }
-        if not (0 <= src < part.num_shards and 0 <= dst < part.num_shards):
+        if not (part.is_live(src) and part.is_live(dst)):
             return summary
         moved = min(cols, part.width_of(src))
         if moved == 0:
             return summary
-        # Freeze the moving span under the old boundaries.
+        # Freeze the moving span under the old boundaries.  Direction is a
+        # *stripe-position* question, not an id comparison: after elastic
+        # inserts the id order and the left-to-right order can differ.
         lo, hi = part.columns_of(src)
-        if dst > src:
+        if part.position_of(dst) > part.position_of(src):
             span_lo, span_hi = hi - moved + 1, hi
         else:
             span_lo, span_hi = lo, lo + moved - 1
@@ -333,6 +351,98 @@ class Coordinator:
                 self.migrate_focal(oid, dst)
                 summary["focals_migrated"] += 1
         return summary
+
+    # ------------------------------------------------- elastic lifecycle
+
+    def is_live(self, sid: int) -> bool:
+        """Whether a shard slot currently owns a stripe (not retired)."""
+        return self.partitioner.is_live(sid)
+
+    def spawn_shard(self, donor: int) -> dict:
+        """Scale out: bring a new shard online and split the donor's
+        stripe into it.
+
+        The new shard takes the lowest retired slot if one exists (its
+        empty tables and reliability endpoint are simply reused),
+        otherwise a fresh slot is appended.  A zero-width stripe is
+        inserted immediately to the donor's right and the donor's right
+        half migrates into it through the ordinary
+        :meth:`apply_rebalance` path -- one epoch bump, RQI buckets and
+        in-span focals handed off online.  Returns the migration summary
+        extended with the new shard id.
+        """
+        part = self.partitioner
+        if not part.is_live(donor):
+            raise ValueError(f"split donor {donor} is not a live shard")
+        if part.width_of(donor) < 2:
+            raise ValueError(f"shard {donor} is too narrow to split")
+        if self._retired:
+            sid = min(self._retired)
+            self._retired.discard(sid)
+        else:
+            sid = len(self.shards)
+            self.shards.append(self._make_shard(sid))
+        part.insert_stripe(donor, sid)
+        summary = self.apply_rebalance(donor, sid, part.width_of(donor) // 2)
+        summary["spawned"] = sid
+        return summary
+
+    def retire_shard(self, sid: int, into: int) -> dict:
+        """Scale in: drain shard ``sid`` into its stripe-adjacent neighbor
+        ``into`` and retire the slot.
+
+        The whole stripe migrates through :meth:`apply_rebalance` (one
+        epoch bump; RQI buckets and in-span focals follow their cells),
+        then the state that column draining cannot see is handed off
+        explicitly: focals homed on ``sid`` whose last-known cell already
+        sat outside the stripe, and static SQT entries (their descriptors
+        live at the install-time owner regardless of cell).  Only then is
+        the emptied stripe removed from the map and the slot marked
+        retired -- the :class:`ServerShard` object stays in ``shards`` so
+        every index and reliability endpoint remains valid, ready for a
+        later :meth:`spawn_shard` to recycle.
+        """
+        part = self.partitioner
+        if not (part.is_live(sid) and part.is_live(into)):
+            raise ValueError(f"retire_shard({sid}, {into}) names a dead shard")
+        if part.num_shards < 2:
+            raise ValueError("cannot retire the last shard")
+        summary = self.apply_rebalance(sid, into, part.width_of(sid))
+        summary["retired"] = sid
+        shard, target = self.shards[sid], self.shards[into]
+        # Focals still homed here (last-known cell outside the drained
+        # span, or no position on record): the ordinary handoff.
+        homed = sorted(
+            oid
+            for oid, home in {**self._fot_home, **self._focal_home}.items()
+            if home == sid
+        )
+        for oid in homed:
+            self.migrate_focal(oid, into)
+            summary["focals_migrated"] += 1
+        # Static queries stay at their install-time owner; re-home their
+        # descriptors (RQI registrations already moved with the cells).
+        for entry in sorted(shard.registry.entries(), key=lambda e: e.qid):
+            shard.registry.release(entry.qid)
+            target.registry.adopt(entry)
+        part.remove_stripe(sid)
+        self._retired.add(sid)
+        return summary
+
+    def ensure_shard_slots(self, count: int) -> None:
+        """Grow ``shards`` to at least ``count`` slots (checkpoint restore
+        of a fleet that scaled out past the config's initial count)."""
+        while len(self.shards) < count:
+            self.shards.append(self._make_shard(len(self.shards)))
+
+    def restore_retired(self, retired: set[int]) -> None:
+        """Adopt a checkpointed retired-slot set wholesale."""
+        self._retired = set(retired)
+
+    @property
+    def retired_shards(self) -> tuple[int, ...]:
+        """Retired slot ids, ascending (for checkpoints and reports)."""
+        return tuple(sorted(self._retired))
 
     # --------------------------------------------------- crash / recovery
 
@@ -527,8 +637,9 @@ class Coordinator:
         self.shards[owner].remove_query(qid)
 
     def enable_leases(self, lease_steps: int) -> None:
-        """Arm soft-state leases on every shard."""
+        """Arm soft-state leases on every shard (and every future spawn)."""
         self._leases_on = True
+        self._lease_steps = lease_steps
         for shard in self.shards:
             shard.enable_leases(lease_steps)
 
@@ -668,9 +779,15 @@ class Coordinator:
         return seconds, ops
 
     def shard_loads(self) -> list[dict]:
-        """Per-shard lifetime load totals (for the bench's balance report)."""
+        """Per-shard lifetime load totals (for the bench's balance report).
+
+        Retired slots are excluded: they own no stripe and receive no
+        routed traffic, so counting their (frozen) historical totals would
+        skew the balance of the live fleet."""
         out = []
         for shard in self.shards:
+            if not self.partitioner.is_live(shard.shard_id):
+                continue
             lo, hi = self.partitioner.columns_of(shard.shard_id)
             out.append(
                 {
@@ -705,8 +822,20 @@ class Coordinator:
 
     def check_invariants(self) -> None:
         """Per-shard invariants plus the cross-shard partition and
-        directory consistency rules."""
+        directory consistency rules.  Retired slots must be fully drained
+        -- a retired shard holding state is a lost-migration bug."""
         for shard in self.shards:
+            if not self.partitioner.is_live(shard.shard_id):
+                assert len(shard.registry) == 0, (
+                    f"retired shard {shard.shard_id} still owns queries"
+                )
+                assert not list(shard.tracker.ids()), (
+                    f"retired shard {shard.shard_id} still tracks focals"
+                )
+                assert not list(shard.registry.rqi.nonempty_cells()), (
+                    f"retired shard {shard.shard_id} still holds RQI cells"
+                )
+                continue
             shard.check_invariants()
         for shard in self.shards:
             sid = shard.shard_id

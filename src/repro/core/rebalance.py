@@ -129,3 +129,176 @@ class RebalancePolicy:
         self._armed = state["armed"]
         self.windows = state["windows"]
         self.proposals = state["proposals"]
+
+
+class ElasticPolicy(RebalancePolicy):
+    """A rebalance policy that can also change the shard *count*.
+
+    The base thermostat slides boundaries between a fixed set of stripes;
+    this extension watches per-shard *streaks* and escalates:
+
+    - a stripe that stays above ``hot_factor`` x mean for ``split_after``
+      consecutive windows (boundary slides evidently are not enough --
+      think a one-column floor under a flash crowd) is **split**: a new
+      shard spawns to its right and takes half its columns;
+    - a stripe that stays below ``merge_factor`` x mean for
+      ``merge_after`` consecutive windows is **merged** into its cooler
+      stripe-adjacent neighbor and its slot retired;
+    - otherwise the ordinary transfer thermostat runs.
+
+    Because the live shard set changes over time, the window marks and
+    streak counters are keyed by *stable shard id* (a dict), never by
+    list position: a freshly spawned shard starts with a zero mark and a
+    zero streak instead of inheriting a stranger's history, and a retired
+    shard's history is dropped.
+
+    Decisions come back as op tuples -- ``("split", donor)``,
+    ``("merge", sid, into)``, or ``("transfer", src, dst, cols)`` -- and
+    stay pure: the system translates them into coordinator calls.
+    """
+
+    def __init__(
+        self,
+        hot_factor: float = 1.5,
+        cool_factor: float = 1.2,
+        metric: str = "seconds",
+        *,
+        max_shards: int,
+        min_shards: int = 2,
+        split_after: int = 2,
+        merge_factor: float = 0.5,
+        merge_after: int = 3,
+    ) -> None:
+        super().__init__(hot_factor, cool_factor, metric)
+        if max_shards < min_shards:
+            raise ValueError("max_shards must be at least min_shards")
+        if min_shards < 2:
+            raise ValueError("min_shards must be at least 2")
+        if split_after < 1 or merge_after < 1:
+            raise ValueError("streak lengths must be at least 1")
+        if not 0.0 < merge_factor < 1.0:
+            raise ValueError("merge_factor must lie strictly between 0 and 1")
+        self.max_shards = max_shards
+        self.min_shards = min_shards
+        self.split_after = split_after
+        self.merge_factor = merge_factor
+        self.merge_after = merge_after
+        self._id_marks: dict[int, float] = {}
+        self._hot_streak: dict[int, int] = {}
+        self._cold_streak: dict[int, int] = {}
+        # Lifetime elastic decision counters (observability).
+        self.splits = 0
+        self.merges = 0
+
+    # ----------------------------------------------------------- decisions
+
+    def window_loads_by_id(self, totals: dict[int, float]) -> dict[int, float]:
+        """Diff lifetime totals against per-id marks, advancing the marks.
+
+        Ids absent from ``totals`` (retired shards) drop their marks; ids
+        new to it (spawned shards) start from a zero mark.
+        """
+        window = {
+            sid: max(0.0, t - self._id_marks.get(sid, 0.0)) for sid, t in totals.items()
+        }
+        self._id_marks = dict(totals)
+        return window
+
+    def propose_elastic(
+        self,
+        totals: dict[int, float],
+        widths: dict[int, int],
+        order: tuple[int, ...],
+    ) -> tuple | None:
+        """One elastic evaluation over the live fleet.
+
+        ``totals``/``widths`` are keyed by shard id; ``order`` lists the
+        live ids in left-to-right stripe order (neighbor relations are a
+        stripe-position question, not an id question).
+        """
+        self.windows += 1
+        window = self.window_loads_by_id(totals)
+        n = len(order)
+        if n < 2:
+            return None
+        mean = sum(window.values()) / n
+        if mean <= 0.0:
+            return None
+        pos = {sid: p for p, sid in enumerate(order)}
+        for sid in order:
+            ratio = window[sid] / mean
+            self._hot_streak[sid] = (
+                self._hot_streak.get(sid, 0) + 1 if ratio > self.hot_factor else 0
+            )
+            self._cold_streak[sid] = (
+                self._cold_streak.get(sid, 0) + 1 if ratio < self.merge_factor else 0
+            )
+        for sid in list(self._hot_streak):
+            if sid not in pos:
+                del self._hot_streak[sid]
+        for sid in list(self._cold_streak):
+            if sid not in pos:
+                del self._cold_streak[sid]
+        hottest = max(order, key=lambda s: (window[s], -pos[s]))
+        ratio = window[hottest] / mean
+        # 1. Scale out: a persistent hotspot that boundary slides did not
+        #    fix gets its own shard (capacity, not just placement).
+        if (
+            n < self.max_shards
+            and self._hot_streak.get(hottest, 0) >= self.split_after
+            and widths[hottest] >= 2
+        ):
+            self._hot_streak[hottest] = 0
+            self.splits += 1
+            self.proposals += 1
+            return ("split", hottest)
+        # 2. The ordinary transfer thermostat (base-class semantics, but
+        #    over ids in stripe order).
+        if self._armed and ratio < self.cool_factor:
+            self._armed = False
+        if self._armed or ratio > self.hot_factor:
+            self._armed = True
+            if widths[hottest] >= 2:
+                p = pos[hottest]
+                neighbors = [order[q] for q in (p - 1, p + 1) if 0 <= q < n]
+                recipient = min(neighbors, key=lambda s: (window[s], pos[s]))
+                if window[recipient] < window[hottest]:
+                    cols = max(1, widths[hottest] // 4)
+                    self.proposals += 1
+                    return ("transfer", hottest, recipient, cols)
+        # 3. Scale in: a persistently idle stripe returns its slot.  The
+        #    coldest streak-qualified stripe merges into its cooler
+        #    stripe-adjacent neighbor.
+        if n > self.min_shards:
+            cold = [
+                sid for sid in order if self._cold_streak.get(sid, 0) >= self.merge_after
+            ]
+            if cold:
+                coldest = min(cold, key=lambda s: (window[s], pos[s]))
+                p = pos[coldest]
+                neighbors = [order[q] for q in (p - 1, p + 1) if 0 <= q < n]
+                into = min(neighbors, key=lambda s: (window[s], pos[s]))
+                self._cold_streak[coldest] = 0
+                self.merges += 1
+                self.proposals += 1
+                return ("merge", coldest, into)
+        return None
+
+    # --------------------------------------------------------- checkpoints
+
+    def state(self) -> dict:
+        state = super().state()
+        state["id_marks"] = dict(self._id_marks)
+        state["hot_streak"] = dict(self._hot_streak)
+        state["cold_streak"] = dict(self._cold_streak)
+        state["splits"] = self.splits
+        state["merges"] = self.merges
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._id_marks = dict(state.get("id_marks", {}))
+        self._hot_streak = dict(state.get("hot_streak", {}))
+        self._cold_streak = dict(state.get("cold_streak", {}))
+        self.splits = state.get("splits", 0)
+        self.merges = state.get("merges", 0)

@@ -1,0 +1,322 @@
+"""Long-running service runtime over :class:`MobiEyesSystem`.
+
+Everything below this module runs as a finite stepped simulation; the
+service turns it into an *open-ended* deployment.  A
+:class:`MobiEyesService` wraps a system behind a queue-driven ingest API
+-- :meth:`submit_update`, :meth:`install_query`, :meth:`remove_query` --
+whose operations are accepted at any time and applied *between* steps, at
+the next tick's admission slot.  The ticker (:meth:`tick`, :meth:`run`)
+advances steps indefinitely; the system's own cadence checkpoints
+(``checkpoint_every_steps``, PR 7's :mod:`repro.core.snapshot`) are the
+durability story, and snapshot v3 carries the ingest queue itself so a
+restored service resumes with the same pending work.
+
+Admission control and backpressure:
+
+- the ingest queue is *bounded* (``ingest_queue_limit``; 0 derives the
+  bound from the admission budget times the latency pipeline's depth).
+  A submission that would overflow is **rejected**: its ticket comes back
+  ``"rejected"`` and ``backpressure_rejects`` counts it -- never a silent
+  drop;
+- each tick admits at most ``ingest_budget_per_step`` operations (0 =
+  everything queued); the rest stay queued for later ticks (a *deferral*,
+  also counted);
+- with ``ingest_inflight_limit`` set, a tick whose transport backlog
+  exceeds the limit admits nothing at all -- the queue drains only as
+  fast as the network does.
+
+Determinism contract (the correctness bar the tests grade): a service
+run whose ingest script is replayed at fixed steps is **bit-identical**
+to a plain simulation that makes the same ``apply_external_update`` /
+``install_query`` / ``remove_query`` calls between the same steps --
+the service adds scheduling, never behavior.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.query import QueryId, QuerySpec
+from repro.geometry import Point, Vector
+from repro.mobility.model import ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import MobiEyesSystem
+
+#: Ingest operation kinds.
+OP_UPDATE = "update"
+OP_INSTALL = "install"
+OP_REMOVE = "remove"
+
+
+class IngestTicket:
+    """The caller's handle on one submitted operation.
+
+    ``status`` moves ``"queued" -> "applied"`` (or is ``"rejected"``
+    immediately at submission when the queue is full); for installs,
+    ``qid`` resolves to the server-assigned query id at apply time.
+    """
+
+    __slots__ = ("kind", "status", "qid", "payload")
+
+    def __init__(self, kind: str, payload: tuple) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.status = "queued"
+        self.qid: Optional[QueryId] = None
+
+    @property
+    def applied(self) -> bool:
+        return self.status == "applied"
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == "rejected"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IngestTicket({self.kind!r}, {self.status!r}, qid={self.qid})"
+
+
+class MobiEyesService:
+    """Queue-driven, indefinitely running front end of a MobiEyes system."""
+
+    def __init__(self, system: "MobiEyesSystem") -> None:
+        self.system = system
+        config = system.config
+        self.budget = config.ingest_budget_per_step
+        limit = config.ingest_queue_limit
+        if limit == 0 and self.budget > 0:
+            # Derive the bound from what the pipeline can absorb: one
+            # admission budget per step the latency model keeps a message
+            # in flight (plus the current step itself).
+            depth = 1 + (
+                config.uplink_latency_steps
+                + config.downlink_latency_steps
+                + config.latency_jitter_steps
+            )
+            limit = self.budget * depth
+        #: Queue bound; 0 means unbounded (no budget to derive from).
+        self.queue_limit = limit
+        self.inflight_limit = config.ingest_inflight_limit
+        self._queue: deque[IngestTicket] = deque()
+        self._running = False
+        # Lifetime accounting.  Invariant (tested):
+        #   submitted == applied + rejected + len(queue).
+        self.submitted = 0
+        self.applied = 0
+        self.backpressure_rejects = 0
+        self.deferred_ops = 0
+        self.deferred_ticks = 0
+        self.ticks = 0
+        # A checkpoint taken mid-service carries the queue; a system
+        # restored from one parks it here for the next service attach.
+        pending = getattr(system, "_pending_service_state", None)
+        if pending is not None:
+            self._restore_state(pending)
+            system._pending_service_state = None
+        system._service = self
+
+    # ------------------------------------------------------------- ingest
+
+    def _enqueue(self, ticket: IngestTicket) -> IngestTicket:
+        self.submitted += 1
+        if self.queue_limit and len(self._queue) >= self.queue_limit:
+            ticket.status = "rejected"
+            self.backpressure_rejects += 1
+            return ticket
+        self._queue.append(ticket)
+        return ticket
+
+    def submit_update(self, oid: ObjectId, pos: Point, vel: Vector) -> IngestTicket:
+        """Queue an externally reported position/velocity for one object."""
+        return self._enqueue(IngestTicket(OP_UPDATE, (oid, pos, vel)))
+
+    def install_query(self, spec: QuerySpec) -> IngestTicket:
+        """Queue a runtime query install; the ticket's ``qid`` resolves
+        when the install is admitted."""
+        return self._enqueue(IngestTicket(OP_INSTALL, (spec,)))
+
+    def remove_query(self, ref: "QueryId | IngestTicket") -> IngestTicket:
+        """Queue a runtime query removal.
+
+        ``ref`` is either a concrete query id or the install's own
+        ticket (FIFO admission guarantees the install lands first).
+        """
+        return self._enqueue(IngestTicket(OP_REMOVE, (ref,)))
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations currently waiting for admission."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- ticker
+
+    def _apply(self, ticket: IngestTicket) -> None:
+        system = self.system
+        if ticket.kind == OP_UPDATE:
+            oid, pos, vel = ticket.payload
+            system.apply_external_update(oid, pos, vel)
+        elif ticket.kind == OP_INSTALL:
+            (spec,) = ticket.payload
+            ticket.qid = system.install_query(spec)
+        else:
+            (ref,) = ticket.payload
+            qid = ref.qid if isinstance(ref, IngestTicket) else ref
+            if qid is None:
+                raise ValueError(
+                    "remove_query ticket references an install that was never applied"
+                )
+            system.remove_query(qid)
+            ticket.qid = qid
+        ticket.status = "applied"
+        self.applied += 1
+
+    def admit(self) -> int:
+        """Pump one admission slot: apply queued operations up to the
+        budget (FIFO), honoring the inflight gate.  Returns how many
+        operations were applied."""
+        if (
+            self.inflight_limit
+            and self.system.transport.pending_count() > self.inflight_limit
+        ):
+            # Transport backlog over budget: admit nothing, let delivery
+            # catch up.  The queued work is deferred, not lost.
+            self.deferred_ticks += 1
+            self.deferred_ops += len(self._queue)
+            return 0
+        admitted = 0
+        while self._queue and (self.budget == 0 or admitted < self.budget):
+            self._apply(self._queue.popleft())
+            admitted += 1
+        if self._queue:
+            self.deferred_ops += len(self._queue)
+        return admitted
+
+    def tick(self) -> int:
+        """One service heartbeat: admit queued ingest, then advance one
+        simulation step.  Returns the step index reached."""
+        self.admit()
+        self.ticks += 1
+        return self.system.step()
+
+    def run(self, steps: int | None = None) -> int:
+        """Drive the ticker for ``steps`` ticks, or indefinitely when
+        ``steps`` is None (until :meth:`stop` is called from a callback
+        or another thread).  Returns the final step index."""
+        self._running = True
+        last = self.system.clock.step
+        try:
+            remaining = steps
+            while self._running and (remaining is None or remaining > 0):
+                last = self.tick()
+                if remaining is not None:
+                    remaining -= 1
+        finally:
+            self._running = False
+        return last
+
+    def stop(self) -> None:
+        """Ask a running ticker to stop after the current tick."""
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------ reports
+
+    def counters(self) -> dict:
+        """Accounting snapshot: every submission is applied, rejected, or
+        still queued -- nothing is silently dropped."""
+        return {
+            "submitted": self.submitted,
+            "applied": self.applied,
+            "backpressure_rejects": self.backpressure_rejects,
+            "queued": len(self._queue),
+            "deferred_ops": self.deferred_ops,
+            "deferred_ticks": self.deferred_ticks,
+            "ticks": self.ticks,
+        }
+
+    def check_accounting(self) -> None:
+        """The no-silent-drop invariant."""
+        assert self.submitted == self.applied + self.backpressure_rejects + len(
+            self._queue
+        ), (
+            f"ingest accounting leak: submitted={self.submitted} != "
+            f"applied={self.applied} + rejects={self.backpressure_rejects} + "
+            f"queued={len(self._queue)}"
+        )
+
+    # -------------------------------------------------------- checkpoints
+
+    def state(self) -> dict:
+        """Checkpointable service state (the queue and the counters).
+
+        Queued operations serialize by value; a queued removal that
+        references a queued install's ticket serializes as the install's
+        queue position, so the restored queue re-links the same pair.
+        """
+        install_pos = {
+            id(t): i for i, t in enumerate(self._queue) if t.kind == OP_INSTALL
+        }
+        ops: list[tuple] = []
+        for ticket in self._queue:
+            if ticket.kind == OP_REMOVE:
+                (ref,) = ticket.payload
+                if isinstance(ref, IngestTicket):
+                    if ref.qid is not None:
+                        ops.append((OP_REMOVE, "qid", ref.qid))
+                    elif id(ref) in install_pos:
+                        ops.append((OP_REMOVE, "pos", install_pos[id(ref)]))
+                    else:
+                        raise ValueError(
+                            "queued removal references an install ticket that is "
+                            "neither applied nor queued"
+                        )
+                else:
+                    ops.append((OP_REMOVE, "qid", ref))
+            else:
+                ops.append((ticket.kind, ticket.payload))
+        return {
+            "ops": ops,
+            "submitted": self.submitted,
+            "applied": self.applied,
+            "backpressure_rejects": self.backpressure_rejects,
+            "deferred_ops": self.deferred_ops,
+            "deferred_ticks": self.deferred_ticks,
+            "ticks": self.ticks,
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self._queue.clear()
+        tickets: list[IngestTicket] = []
+        for op in state["ops"]:
+            if op[0] == OP_REMOVE:
+                _, how, value = op
+                ref = tickets[value] if how == "pos" else value
+                ticket = IngestTicket(OP_REMOVE, (ref,))
+            else:
+                kind, payload = op
+                ticket = IngestTicket(kind, tuple(payload))
+            tickets.append(ticket)
+            self._queue.append(ticket)
+        self.submitted = state["submitted"]
+        self.applied = state["applied"]
+        self.backpressure_rejects = state["backpressure_rejects"]
+        self.deferred_ops = state["deferred_ops"]
+        self.deferred_ticks = state["deferred_ticks"]
+        self.ticks = state["ticks"]
+
+    # ----------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Close the wrapped system (idempotent)."""
+        self.system.close()
+
+    def __enter__(self) -> "MobiEyesService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -53,8 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: change to the payload layout; :func:`from_bytes` refuses mismatches.
 #: v2 added the partition map (boundary layout + epoch), the rebalance
 #: policy state and log, per-client partition epochs, and the transport's
-#: stale-epoch reroute counter.
-CHECKPOINT_VERSION = 2
+#: stale-epoch reroute counter.  v3 added the elastic fleet shape (stripe
+#: order, slot count, retired slots), the elastic policy's id-keyed
+#: streaks, and the service runtime's ingest queue and counters.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass(slots=True)
@@ -199,12 +201,19 @@ def _capture_loss(system: "MobiEyesSystem") -> tuple[str, Any]:
 
 
 def _capture_partition(system: "MobiEyesSystem") -> dict[str, Any] | None:
-    """The mutable partition state: boundary layout and epoch (None for
-    a monolithic server, which has no map)."""
+    """The mutable partition state: boundary layout, epoch, and -- since
+    elastic scale-out -- the stripe order, the shard-slot count, and the
+    retired slots (None for a monolithic server, which has no map)."""
     partitioner = getattr(system.server, "partitioner", None)
     if partitioner is None:
         return None
-    return {"bounds": partitioner.bounds, "epoch": partitioner.epoch}
+    return {
+        "bounds": partitioner.bounds,
+        "epoch": partitioner.epoch,
+        "order": partitioner.order,
+        "slots": len(system.server.shards),
+        "retired": system.server.retired_shards,
+    }
 
 
 def _check_supported(system: "MobiEyesSystem") -> None:
@@ -272,6 +281,12 @@ def checkpoint(system: "MobiEyesSystem") -> Checkpoint:
         # restored run recovers from the same basis the original would.
         "last_checkpoint": getattr(system, "_last_checkpoint", None),
         "checkpoints_taken": system._checkpoints_taken,
+        # Service runtime: the ingest queue and its accounting, so a
+        # restored service resumes with the same pending work (None when
+        # no service is attached).
+        "service": (
+            system._service.state() if system._service is not None else None
+        ),
     }
     return Checkpoint(version=CHECKPOINT_VERSION, payload=copy.deepcopy(payload))
 
@@ -415,8 +430,15 @@ def restore(cp: Checkpoint) -> "MobiEyesSystem":
     )
     partition = p["partition"]
     if partition is not None:
-        system.server.partitioner.restore_state(
-            tuple(partition["bounds"]), partition["epoch"]
+        server = system.server
+        # Elastic fleets first grow the slot list (a run that scaled out
+        # has more server sections than the config's initial count) and
+        # re-mark retired slots, then adopt the stripe layout -- all
+        # before the graft, whose RQI splits consult the live map.
+        server.ensure_shard_slots(partition["slots"])
+        server.restore_retired(set(partition["retired"]))
+        server.partitioner.restore_state(
+            tuple(partition["bounds"]), partition["epoch"], tuple(partition["order"])
         )
     _graft_server(system, p["server"])
     system.server._next_qid = p["next_qid"]
@@ -435,6 +457,9 @@ def restore(cp: Checkpoint) -> "MobiEyesSystem":
     if p["rebalance_policy"] is not None and system._rebalance_policy is not None:
         system._rebalance_policy.restore_state(p["rebalance_policy"])
     system.rebalance_log = p["rebalance_log"]
+    # A service attached to the restored system adopts the checkpointed
+    # ingest queue (see MobiEyesService.__init__).
+    system._pending_service_state = p["service"]
     system.engine.clock.step = p["step"]
     return system
 

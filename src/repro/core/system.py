@@ -140,16 +140,34 @@ class MobiEyesSystem:
         # (consumed by the bench / chaos reports).
         self._rebalance_schedule = config.rebalance_schedule
         self._rebalance_every = config.rebalance_every_steps
+        self._elastic_schedule = config.elastic_schedule
         self._rebalance_policy = None
         self.rebalance_log: list[dict] = []
         if self._rebalance_every and config.shards > 1:
-            from repro.core.rebalance import RebalancePolicy
+            if config.elastic_max_shards > 0:
+                from repro.core.rebalance import ElasticPolicy
 
-            self._rebalance_policy = RebalancePolicy(
-                hot_factor=config.rebalance_hot_factor,
-                cool_factor=config.rebalance_cool_factor,
-                metric=config.rebalance_metric,
-            )
+                # The thermostat may also change the shard count: split a
+                # persistently hot stripe into a spawned shard, merge a
+                # persistently cold one away (see core/rebalance.py).
+                self._rebalance_policy = ElasticPolicy(
+                    hot_factor=config.rebalance_hot_factor,
+                    cool_factor=config.rebalance_cool_factor,
+                    metric=config.rebalance_metric,
+                    max_shards=config.elastic_max_shards,
+                    min_shards=config.elastic_min_shards,
+                    split_after=config.elastic_split_after,
+                    merge_factor=config.elastic_merge_factor,
+                    merge_after=config.elastic_merge_after,
+                )
+            else:
+                from repro.core.rebalance import RebalancePolicy
+
+                self._rebalance_policy = RebalancePolicy(
+                    hot_factor=config.rebalance_hot_factor,
+                    cool_factor=config.rebalance_cool_factor,
+                    metric=config.rebalance_metric,
+                )
         if getattr(loss, "policy", None) is not None:
             # Fault injection: bind the injector to live positions, turn
             # on server leases, and give every client the fault policy
@@ -164,6 +182,12 @@ class MobiEyesSystem:
                 loss.bind_shards(self.server.shard_for_uplink)
             crashes = loss.schedule.crashes
             if crashes:
+                if config.elastic_max_shards > 0 or config.elastic_schedule:
+                    raise ValueError(
+                        "shard crash windows require a fixed fleet: crash "
+                        "recovery rebuilds a shard by id from the last "
+                        "checkpoint, which elastic retirement invalidates"
+                    )
                 if config.shards <= 1:
                     raise ValueError(
                         "shard crash windows require a sharded server (config.shards > 1)"
@@ -181,6 +205,11 @@ class MobiEyesSystem:
                             f"partitioner built only {self.server.num_shards} shards"
                         )
                 self._crash_windows = crashes
+        # Service runtime attach point (core/service.py): the live service
+        # wrapping this system, and -- after a restore -- the checkpointed
+        # ingest-queue state waiting for the next service to adopt.
+        self._service = None
+        self._pending_service_state = None
         self._fastpath = None
         if config.engine == "vectorized":
             from repro.fastpath.runtime import FastpathRuntime
@@ -228,6 +257,18 @@ class MobiEyesSystem:
     def remove_query(self, qid: QueryId) -> None:
         """Uninstall a query everywhere it is known."""
         self.server.remove_query(qid)
+
+    def apply_external_update(self, oid: ObjectId, pos, vel) -> None:
+        """Adopt an externally reported position/velocity for one object.
+
+        The service runtime's ingest path, applied *between* steps (the
+        current clock boundary): the next step's movement, reporting, and
+        evaluation see the new state exactly as if the object had moved
+        there itself, so a scripted sequence of these calls replayed at
+        fixed steps is bit-identical however it is driven (service queue
+        or direct calls).
+        """
+        self.motion.apply_update(oid, pos, vel, self.clock.now_hours)
 
     def step(self) -> int:
         """Advance the simulation by one time step."""
@@ -294,7 +335,11 @@ class MobiEyesSystem:
     def _movement_phase(self, clock: SimulationClock) -> None:
         if self._crash_windows or self._checkpoint_every:
             self._robustness_housekeeping(clock.step)
-        if self._rebalance_schedule or self._rebalance_policy is not None:
+        if (
+            self._rebalance_schedule
+            or self._elastic_schedule
+            or self._rebalance_policy is not None
+        ):
             # After recovery, before any of this step's traffic: a
             # repartition never races a parallel shard region, and a crash
             # window ending this step is rebuilt before boundaries move.
@@ -389,6 +434,20 @@ class MobiEyesSystem:
                 # so checkpoint/restore replays the same value.
                 epoch = sum(1 for op in self._rebalance_schedule if op[0] <= step)
             self._broadcast_rebalance(epoch)
+        # Deterministic elastic triggers (the reproducible counterpart of
+        # the elastic policy; config validation guarantees a coordinator).
+        for op in self._elastic_schedule:
+            if op[0] != step:
+                continue
+            if op[1] == "split":
+                summary = coordinator.spawn_shard(op[2])
+            else:
+                summary = coordinator.retire_shard(op[2], op[3])
+            summary["step"] = step
+            summary["trigger"] = f"schedule-{op[1]}"
+            self.rebalance_log.append(summary)
+            if summary["cols_moved"]:
+                self._broadcast_rebalance(coordinator.partition_epoch)
         policy = self._rebalance_policy
         if (
             policy is not None
@@ -398,17 +457,53 @@ class MobiEyesSystem:
         ):
             rows = coordinator.shard_loads()
             key = "seconds" if policy.metric == "seconds" else "ops"
-            totals = [float(row[key]) for row in rows]
-            widths = [coordinator.partitioner.width_of(row["shard"]) for row in rows]
-            proposal = policy.propose(totals, widths)
-            if proposal is not None:
-                src, dst, cols = proposal
-                summary = coordinator.apply_rebalance(src, dst, cols)
-                summary["step"] = step
-                summary["trigger"] = "policy"
-                self.rebalance_log.append(summary)
-                if summary["cols_moved"]:
-                    self._broadcast_rebalance(coordinator.partition_epoch)
+            if getattr(policy, "propose_elastic", None) is not None:
+                self._apply_elastic_proposal(coordinator, policy, rows, key, step)
+            else:
+                totals = [float(row[key]) for row in rows]
+                widths = [
+                    coordinator.partitioner.width_of(row["shard"]) for row in rows
+                ]
+                proposal = policy.propose(totals, widths)
+                if proposal is not None:
+                    src, dst, cols = proposal
+                    summary = coordinator.apply_rebalance(src, dst, cols)
+                    summary["step"] = step
+                    summary["trigger"] = "policy"
+                    self.rebalance_log.append(summary)
+                    if summary["cols_moved"]:
+                        self._broadcast_rebalance(coordinator.partition_epoch)
+
+    def _apply_elastic_proposal(self, coordinator, policy, rows, key, step) -> None:
+        """Run one elastic policy window and apply its decision.
+
+        The policy works over stable shard ids in stripe order; split and
+        merge decisions go through the coordinator's lifecycle
+        (spawn/retire), transfers through the ordinary migration.  Every
+        applied op lands in ``rebalance_log``; any effective column move
+        broadcasts the new epoch.
+        """
+        part = coordinator.partitioner
+        totals = {row["shard"]: float(row[key]) for row in rows}
+        widths = {row["shard"]: part.width_of(row["shard"]) for row in rows}
+        proposal = policy.propose_elastic(totals, widths, part.order)
+        if proposal is None:
+            return
+        if proposal[0] == "split":
+            summary = coordinator.spawn_shard(proposal[1])
+            trigger = "policy-split"
+        elif proposal[0] == "merge":
+            summary = coordinator.retire_shard(proposal[1], proposal[2])
+            trigger = "policy-merge"
+        else:
+            _, src, dst, cols = proposal
+            summary = coordinator.apply_rebalance(src, dst, cols)
+            trigger = "policy"
+        summary["step"] = step
+        summary["trigger"] = trigger
+        self.rebalance_log.append(summary)
+        if summary["cols_moved"]:
+            self._broadcast_rebalance(coordinator.partition_epoch)
 
     def _broadcast_rebalance(self, epoch: int) -> None:
         """Grid-wide directive: clients adopt the advertised epoch."""

@@ -301,6 +301,23 @@ def run_engine(
         track_accuracy=scenario.track_accuracy,
         warmup_steps=scenario.warmup,
     )
+    # Context-managed so a mid-run exception still tears down the shard
+    # executor (a leaked process pool outlives the bench otherwise).
+    with system:
+        return _run_engine_timed(system, scenario, workload, build_seconds=built)
+
+
+def _run_engine_timed(
+    system: MobiEyesSystem, scenario: BenchScenario, workload, build_seconds: float
+) -> dict:
+    config = system.config
+    shards = config.shards
+    workers = config.shard_workers
+    executor = config.shard_executor
+    engine = config.engine
+    checkpoint_every = config.checkpoint_every_steps
+    rebalance_every = config.rebalance_every_steps
+    built = build_seconds
     system.install_queries(workload.query_specs)
     build_seconds = time.perf_counter() - built
 
@@ -354,7 +371,6 @@ def run_engine(
         report["stale_epoch_reroutes"] = system.transport.stale_epoch_reroutes
     if checkpoint_every:
         report["checkpoint"] = _checkpoint_roundtrip(system, report)
-    system.close()
     return report
 
 
@@ -376,21 +392,22 @@ def _checkpoint_roundtrip(system: MobiEyesSystem, report: dict) -> dict:
         return out
     started = time.perf_counter()
     blob = cp.to_bytes()
-    resumed = restore(from_bytes(blob))
-    resumed_steps = system.clock.step - resumed.clock.step
-    resumed.run(resumed_steps)
-    out["checkpoint_bytes"] = len(blob)
-    out["restored_from_step"] = cp.payload["step"]
-    out["resumed_steps"] = resumed_steps
-    out["restore_resume_seconds"] = round(time.perf_counter() - started, 4)
-    out["roundtrip_match"] = (
-        result_hash(resumed) == report["result_hash"]
-        and resumed.ledger.uplink_count == report["uplink_messages"]
-        and resumed.ledger.downlink_count == report["downlink_messages"]
-        and round(resumed.ledger.total_energy(), 6) == report["energy_joules"]
-        and resumed.transport.pending_count() == report["pending_messages_at_end"]
-    )
-    resumed.close()
+    # Context-managed: a resume that raises must not leak the restored
+    # system's shard executor.
+    with restore(from_bytes(blob)) as resumed:
+        resumed_steps = system.clock.step - resumed.clock.step
+        resumed.run(resumed_steps)
+        out["checkpoint_bytes"] = len(blob)
+        out["restored_from_step"] = cp.payload["step"]
+        out["resumed_steps"] = resumed_steps
+        out["restore_resume_seconds"] = round(time.perf_counter() - started, 4)
+        out["roundtrip_match"] = (
+            result_hash(resumed) == report["result_hash"]
+            and resumed.ledger.uplink_count == report["uplink_messages"]
+            and resumed.ledger.downlink_count == report["downlink_messages"]
+            and round(resumed.ledger.total_energy(), 6) == report["energy_joules"]
+            and resumed.transport.pending_count() == report["pending_messages_at_end"]
+        )
     return out
 
 
@@ -664,6 +681,16 @@ def compare_reports(
     # (directive downlinks), so it only gates against a same-knob baseline.
     if (new.get("rebalance_every") or 0) != (baseline.get("rebalance_every") or 0):
         return failures
+    # Service-runtime and elastic scale-out knobs (soak-style runs folded
+    # into a bench report): a changing fleet and queued ingest perturb
+    # both timings and message counts, so these also gate only against a
+    # same-knob baseline.  Baselines written before the knobs existed
+    # carry none of the keys -- every such report was a finite,
+    # fixed-fleet, no-ingest run, which the falsy defaults reproduce, so
+    # an old BENCH_local.json keeps gating unchanged.
+    for knob in ("elastic_max_shards", "elastic_schedule", "ingest_budget_per_step"):
+        if (new.get(knob) or 0) != (baseline.get(knob) or 0):
+            return failures
     baseline_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
     for row in new.get("scenarios", []):
         base_row = baseline_rows.get(row["name"])

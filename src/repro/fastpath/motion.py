@@ -20,8 +20,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.fastpath.store import ObjectStateStore
-from repro.geometry import Point, Rect
-from repro.mobility.model import MovingObject
+from repro.geometry import Point, Rect, Vector
+from repro.mobility.model import MovingObject, ObjectId
 from repro.mobility.motion import MotionModel, reflect_into
 from repro.sim.rng import SimulationRng
 
@@ -86,3 +86,17 @@ class VectorizedMotionModel(MotionModel):
                 self._randomize_velocity(obj, now_hours)
                 self.changed_last_step.append(obj.oid)
                 self.store.sync_velocity_row(row_of[obj.oid])
+
+    def apply_update(
+        self, oid: ObjectId, pos: Point, vel: Vector, now_hours: float
+    ) -> MovingObject:
+        """Scalar update plus the SoA row sync (the arrays are the source
+        of truth for the next vectorized advance)."""
+        obj = super().apply_update(oid, pos, vel, now_hours)
+        store = self.store
+        row = store.row_of[oid]
+        store.x[row] = obj.pos.x
+        store.y[row] = obj.pos.y
+        store.vx[row] = obj.vel.x
+        store.vy[row] = obj.vel.y
+        return obj

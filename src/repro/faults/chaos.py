@@ -216,183 +216,189 @@ def run_chaos(
         velocity_changes_per_step=params.velocity_changes_per_step,
         loss=injector,
     )
-    system.install_queries(workload.query_specs)
-    # Channels are armed only after deployment: installation happens on a
-    # healthy network (faults start at step >= 1 anyway), so a burst that
-    # would strand the install round trip cannot abort the scenario.
-    injector.uplink_channel = _make_channel(channel_rng, uplink_loss, burst)
-    injector.downlink_channel = _make_channel(channel_rng, downlink_loss, burst)
-
-    # Recovery yardstick under latency: a fault-free twin with the same
-    # latency pipeline (motion is identical -- faults never touch the
-    # motion rng), stepped in lockstep.  Crash runs always grade against
-    # the twin: recovery replays a checkpoint, and only exact realignment
-    # with the fault-free run proves the rebuilt shard converged.
-    latency_on = bool(uplink_latency or downlink_latency or latency_jitter)
+    # Everything past construction runs under try/finally: a raising
+    # step (or report assembly) must still tear down the shard
+    # executors of both the system and its lockstep twin.
     twin = None
-    if latency_on or crash or rebalance:
-        twin_rng = SimulationRng(seed)
-        twin_workload = generate_workload(params, twin_rng.fork(1))
-        twin = MobiEyesSystem(
-            # The fault-free twin needs no recovery basis (skip its
-            # cadence) and no boundary moves: grading the rebalanced run
-            # against a static-stripes twin proves migration never moved
-            # results.
-            dataclasses.replace(config, checkpoint_every_steps=0, rebalance_schedule=()),
-            list(twin_workload.objects),
-            twin_rng.fork(2),
-            velocity_changes_per_step=params.velocity_changes_per_step,
-        )
-        twin.install_queries(twin_workload.query_specs)
+    try:
+        system.install_queries(workload.query_specs)
+        # Channels are armed only after deployment: installation happens on a
+        # healthy network (faults start at step >= 1 anyway), so a burst that
+        # would strand the install round trip cannot abort the scenario.
+        injector.uplink_channel = _make_channel(channel_rng, uplink_loss, burst)
+        injector.downlink_channel = _make_channel(channel_rng, downlink_loss, burst)
 
-    sym_fracs: list[float] = []
-    sym_counts: list[int] = []
-    missing_fracs: list[float] = []
-    recovery_counts: list[int] = []
-    for _ in range(steps):
-        system.step()
-        results = system.results()
-        oracle = system.oracle_results()
-        diff = 0
-        miss = 0
-        total = 0
-        for qid in sorted(oracle):
-            truth = oracle[qid]
-            got = results.get(qid, frozenset())
-            total += len(truth)
-            miss += len(truth - got)
-            diff += len(truth ^ got)
-        denom = max(1, total)
-        sym_counts.append(diff)
-        sym_fracs.append(diff / denom)
-        missing_fracs.append(miss / denom)
-        if twin is not None:
-            twin.step()
-            twin_results = twin.results()
-            recovery_counts.append(
-                sum(
-                    len(
-                        frozenset(results.get(qid, frozenset()))
-                        ^ frozenset(twin_results.get(qid, frozenset()))
-                    )
-                    for qid in set(results) | set(twin_results)
-                )
+        # Recovery yardstick under latency: a fault-free twin with the same
+        # latency pipeline (motion is identical -- faults never touch the
+        # motion rng), stepped in lockstep.  Crash runs always grade against
+        # the twin: recovery replays a checkpoint, and only exact realignment
+        # with the fault-free run proves the rebuilt shard converged.
+        latency_on = bool(uplink_latency or downlink_latency or latency_jitter)
+        twin = None
+        if latency_on or crash or rebalance:
+            twin_rng = SimulationRng(seed)
+            twin_workload = generate_workload(params, twin_rng.fork(1))
+            twin = MobiEyesSystem(
+                # The fault-free twin needs no recovery basis (skip its
+                # cadence) and no boundary moves: grading the rebalanced run
+                # against a static-stripes twin proves migration never moved
+                # results.
+                dataclasses.replace(config, checkpoint_every_steps=0, rebalance_schedule=()),
+                list(twin_workload.objects),
+                twin_rng.fork(2),
+                velocity_changes_per_step=params.velocity_changes_per_step,
             )
+            twin.install_queries(twin_workload.query_specs)
+
+        sym_fracs: list[float] = []
+        sym_counts: list[int] = []
+        missing_fracs: list[float] = []
+        recovery_counts: list[int] = []
+        for _ in range(steps):
+            system.step()
+            results = system.results()
+            oracle = system.oracle_results()
+            diff = 0
+            miss = 0
+            total = 0
+            for qid in sorted(oracle):
+                truth = oracle[qid]
+                got = results.get(qid, frozenset())
+                total += len(truth)
+                miss += len(truth - got)
+                diff += len(truth ^ got)
+            denom = max(1, total)
+            sym_counts.append(diff)
+            sym_fracs.append(diff / denom)
+            missing_fracs.append(miss / denom)
+            if twin is not None:
+                twin.step()
+                twin_results = twin.results()
+                recovery_counts.append(
+                    sum(
+                        len(
+                            frozenset(results.get(qid, frozenset()))
+                            ^ frozenset(twin_results.get(qid, frozenset()))
+                        )
+                        for qid in set(results) | set(twin_results)
+                    )
+                )
+            else:
+                recovery_counts.append(diff)
+
+        # Steps-to-reconverge, measured from each fault window's end to the
+        # first step at which the system matches the oracle exactly.
+        window_ends = sorted(
+            {w.end for w in schedule.disconnects}
+            | {o.end for o in schedule.outages}
+            | {c.end for c in schedule.crashes}
+        )
+        reconvergence = []
+        for end in window_ends:
+            settled = None
+            for step in range(end, steps + 1):
+                if recovery_counts[step - 1] == 0:
+                    settled = step - end
+                    break
+            reconvergence.append({"window_end": end, "steps_to_reconverge": settled})
+        if reconvergence:
+            converged = all(r["steps_to_reconverge"] is not None for r in reconvergence)
         else:
-            recovery_counts.append(diff)
+            converged = recovery_counts[-1] == 0 if recovery_counts else True
 
-    # Steps-to-reconverge, measured from each fault window's end to the
-    # first step at which the system matches the oracle exactly.
-    window_ends = sorted(
-        {w.end for w in schedule.disconnects}
-        | {o.end for o in schedule.outages}
-        | {c.end for c in schedule.crashes}
-    )
-    reconvergence = []
-    for end in window_ends:
-        settled = None
-        for step in range(end, steps + 1):
-            if recovery_counts[step - 1] == 0:
-                settled = step - end
-                break
-        reconvergence.append({"window_end": end, "steps_to_reconverge": settled})
-    if reconvergence:
-        converged = all(r["steps_to_reconverge"] is not None for r in reconvergence)
-    else:
-        converged = recovery_counts[-1] == 0 if recovery_counts else True
+        age = 0
+        weighted = 0.0
+        for frac in sym_fracs:
+            age = age + 1 if frac > 0 else 0
+            weighted += frac * age
+        staleness_weighted = weighted / max(1, steps)
 
-    age = 0
-    weighted = 0.0
-    for frac in sym_fracs:
-        age = age + 1 if frac > 0 else 0
-        weighted += frac * age
-    staleness_weighted = weighted / max(1, steps)
-
-    results_canonical = {
-        str(qid): sorted(members) for qid, members in sorted(system.results().items())
-    }
-    result_hash = hashlib.sha256(
-        json.dumps(results_canonical, sort_keys=True).encode()
-    ).hexdigest()
-
-    ledger = system.ledger
-    reliability = system.transport.reliability
-    # Per-shard load split (satellite of the balance report in bench).
-    # The seconds views (charged wall time, imbalance_seconds, critical
-    # min/max) are the docstring's bit-identity carve-out: they vary run
-    # to run and the differential checks never grade them.
-    shard_balance = None
-    shard_loads = None
-    if shards > 1:
-        from repro.fastpath.bench import load_balance
-
-        rows = system.server.shard_loads()
-        balance = load_balance(rows)
-        shard_loads = [
-            {k: (round(v, 4) if k == "seconds" else v) for k, v in row.items()} for row in rows
-        ]
-        shard_balance = dict(balance)
-    rebalance_report = None
-    if rebalance:
-        partitioner = system.server.partitioner
-        rebalance_report = {
-            "schedule": [list(op) for op in rebalance_schedule],
-            "log": list(system.rebalance_log),
-            "partition_bounds": list(partitioner.bounds),
-            "partition_epoch": partitioner.epoch,
-            "stale_epoch_reroutes": system.transport.stale_epoch_reroutes,
+        results_canonical = {
+            str(qid): sorted(members) for qid, members in sorted(system.results().items())
         }
-    crash_report = None
-    if crash:
-        crash_report = {
-            "windows": [
-                {"shard": c.shard, "start": c.start, "end": c.end} for c in schedule.crashes
-            ],
-            "checkpoint_every": checkpoint_every,
-            "checkpoints_taken": system._checkpoints_taken,
+        result_hash = hashlib.sha256(
+            json.dumps(results_canonical, sort_keys=True).encode()
+        ).hexdigest()
+
+        ledger = system.ledger
+        reliability = system.transport.reliability
+        # Per-shard load split (satellite of the balance report in bench).
+        # The seconds views (charged wall time, imbalance_seconds, critical
+        # min/max) are the docstring's bit-identity carve-out: they vary run
+        # to run and the differential checks never grade them.
+        shard_balance = None
+        shard_loads = None
+        if shards > 1:
+            from repro.fastpath.bench import load_balance
+
+            rows = system.server.shard_loads()
+            balance = load_balance(rows)
+            shard_loads = [
+                {k: (round(v, 4) if k == "seconds" else v) for k, v in row.items()} for row in rows
+            ]
+            shard_balance = dict(balance)
+        rebalance_report = None
+        if rebalance:
+            partitioner = system.server.partitioner
+            rebalance_report = {
+                "schedule": [list(op) for op in rebalance_schedule],
+                "log": list(system.rebalance_log),
+                "partition_bounds": list(partitioner.bounds),
+                "partition_epoch": partitioner.epoch,
+                "stale_epoch_reroutes": system.transport.stale_epoch_reroutes,
+            }
+        crash_report = None
+        if crash:
+            crash_report = {
+                "windows": [
+                    {"shard": c.shard, "start": c.start, "end": c.end} for c in schedule.crashes
+                ],
+                "checkpoint_every": checkpoint_every,
+                "checkpoints_taken": system._checkpoints_taken,
+            }
+        return {
+            "engine": engine,
+            "seed": seed,
+            "steps": steps,
+            "scale": scale,
+            "shards": shards,
+            "workers": workers if shards > 1 else 0,
+            "objects": params.num_objects,
+            "queries": params.num_queries,
+            "channels": {
+                "uplink_loss": uplink_loss,
+                "downlink_loss": downlink_loss,
+                "burst": burst,
+            },
+            "latency": {
+                "uplink_steps": uplink_latency,
+                "downlink_steps": downlink_latency,
+                "jitter_steps": latency_jitter,
+                "pending_at_end": system.transport.pending_count(),
+            },
+            "schedule": schedule.describe(),
+            "crash": crash_report,
+            "rebalance": rebalance_report,
+            "shard_loads": shard_loads,
+            "load_balance": shard_balance,
+            "per_step": {
+                "symmetric_error": [round(v, 9) for v in sym_fracs],
+                "missing_fraction": [round(v, 9) for v in missing_fracs],
+                "twin_divergence": recovery_counts if twin is not None else None,
+            },
+            "recovery_basis": "twin" if twin is not None else "oracle",
+            "final_symmetric_error": round(sym_fracs[-1], 9) if sym_fracs else 0.0,
+            "reconvergence": reconvergence,
+            "converged": converged,
+            "staleness_weighted_error": round(staleness_weighted, 9),
+            "message_counts": {
+                key: int(ledger.counts_by_type[key]) for key in sorted(ledger.counts_by_type)
+            },
+            "drops": injector.counters(),
+            "reliability": reliability.counters(),
+            "result_hash": result_hash,
         }
-    system.close()
-    if twin is not None:
-        twin.close()
-    return {
-        "engine": engine,
-        "seed": seed,
-        "steps": steps,
-        "scale": scale,
-        "shards": shards,
-        "workers": workers if shards > 1 else 0,
-        "objects": params.num_objects,
-        "queries": params.num_queries,
-        "channels": {
-            "uplink_loss": uplink_loss,
-            "downlink_loss": downlink_loss,
-            "burst": burst,
-        },
-        "latency": {
-            "uplink_steps": uplink_latency,
-            "downlink_steps": downlink_latency,
-            "jitter_steps": latency_jitter,
-            "pending_at_end": system.transport.pending_count(),
-        },
-        "schedule": schedule.describe(),
-        "crash": crash_report,
-        "rebalance": rebalance_report,
-        "shard_loads": shard_loads,
-        "load_balance": shard_balance,
-        "per_step": {
-            "symmetric_error": [round(v, 9) for v in sym_fracs],
-            "missing_fraction": [round(v, 9) for v in missing_fracs],
-            "twin_divergence": recovery_counts if twin is not None else None,
-        },
-        "recovery_basis": "twin" if twin is not None else "oracle",
-        "final_symmetric_error": round(sym_fracs[-1], 9) if sym_fracs else 0.0,
-        "reconvergence": reconvergence,
-        "converged": converged,
-        "staleness_weighted_error": round(staleness_weighted, 9),
-        "message_counts": {
-            key: int(ledger.counts_by_type[key]) for key in sorted(ledger.counts_by_type)
-        },
-        "drops": injector.counters(),
-        "reliability": reliability.counters(),
-        "result_hash": result_hash,
-    }
+    finally:
+        system.close()
+        if twin is not None:
+            twin.close()

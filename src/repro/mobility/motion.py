@@ -97,6 +97,26 @@ class MotionModel:
                 self._randomize_velocity(obj, now_hours)
                 self.changed_last_step.append(obj.oid)
 
+    def apply_update(
+        self, oid: ObjectId, pos: Point, vel: Vector, now_hours: float
+    ) -> MovingObject:
+        """Adopt an externally reported position/velocity for one object.
+
+        The service runtime's ingest path: a device reports where it
+        *actually* is, overriding the simulated trajectory.  The position
+        is folded into the universe of discourse by the same billiard
+        reflection ordinary motion uses, so an out-of-bounds report can
+        never corrupt the grid invariants.  Applied between steps (the
+        clock's current boundary), it is indistinguishable from the
+        object having moved there itself.
+        """
+        obj = self._by_id[oid]
+        pos, vel = reflect_into(self.uod, pos, vel)
+        obj.pos = pos
+        obj.vel = vel
+        obj.recorded_at = now_hours
+        return obj
+
     def _randomize_velocity(self, obj: MovingObject, now_hours: float) -> None:
         speed = self.rng.uniform(0.0, obj.max_speed)
         obj.vel = Vector.from_polar(self.rng.direction(), speed)

@@ -1,0 +1,315 @@
+"""Service runtime: queue-driven ingest, admission control, backpressure.
+
+The load-bearing contract is the determinism bar from the service module
+docstring: a service run whose ingest script is replayed at fixed steps
+is **bit-identical** (``step_hash``) to a plain simulation that makes the
+same ``apply_external_update`` / ``install_query`` / ``remove_query``
+calls between the same steps -- across both engines and 1/2/4 shards.
+The service adds scheduling (queues, budgets, deferral, rejection),
+never behavior.
+
+Backpressure is graded by accounting: every submission ends applied,
+rejected, or still queued; nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MobiEyesConfig, MobiEyesService, MobiEyesSystem
+from repro.core.query import QuerySpec
+from repro.core.snapshot import checkpoint, restore, step_hash
+from repro.fastpath import numpy_available
+from repro.geometry import Circle, Point, Vector
+from repro.sim.rng import SimulationRng
+from repro.soak import OP_INSTALL, OP_REMOVE, OP_UPDATE, ingest_script_stream
+from repro.workload import generate_workload, paper_defaults
+
+ENGINES = ["reference"] + (["vectorized"] if numpy_available() else [])
+
+
+def build_params(scale=0.012, seed=42, hotspot=0.0):
+    return dataclasses.replace(
+        paper_defaults(), seed=seed, hotspot_fraction=hotspot
+    ).scaled(scale)
+
+
+def build_system(
+    engine="reference",
+    shards=1,
+    scale=0.012,
+    seed=42,
+    latency=0,
+    jitter=0,
+    ingest_budget=0,
+    queue_limit=0,
+    inflight_limit=0,
+):
+    params = build_params(scale=scale, seed=seed)
+    rng = SimulationRng(params.seed)
+    workload = generate_workload(params, rng.fork(1))
+    config = MobiEyesConfig(
+        uod=params.uod,
+        alpha=params.alpha,
+        base_station_side=params.base_station_side,
+        engine=engine,
+        shards=shards,
+        uplink_latency_steps=latency,
+        downlink_latency_steps=latency,
+        latency_jitter_steps=jitter,
+        latency_seed=seed,
+        ingest_budget_per_step=ingest_budget,
+        ingest_queue_limit=queue_limit,
+        ingest_inflight_limit=inflight_limit,
+    )
+    system = MobiEyesSystem(
+        config,
+        list(workload.objects),
+        rng.fork(2),
+        velocity_changes_per_step=params.velocity_changes_per_step,
+    )
+    system.install_queries(workload.query_specs)
+    return system, workload, params
+
+
+def scripted_steps(params, workload, steps, rate=4, churn_every=3, salt=9):
+    """A finite deterministic ingest script: ``steps`` lists of ops."""
+    stream = ingest_script_stream(
+        params, workload, SimulationRng(params.seed).fork(salt), rate, churn_every
+    )
+    return [next(stream) for _ in range(steps)]
+
+
+class TestScriptedBitIdentity:
+    """Service scheduling is invisible: replaying the same script through
+    the queue or as direct calls yields the same hash at every step."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_service_matches_plain_sim(self, engine, shards):
+        steps = 8
+        system, workload, params = build_system(engine=engine, shards=shards)
+        plain, _, _ = build_system(engine=engine, shards=shards)
+        script = scripted_steps(params, workload, steps)
+        installs: dict[int, object] = {}  # script id -> service ticket
+        plain_qids: dict[int, object] = {}  # script id -> plain-sim qid
+        with MobiEyesService(system) as service, plain:
+            for ops in script:
+                for op in ops:
+                    if op[0] == OP_UPDATE:
+                        _, oid, pos, vel = op
+                        service.submit_update(oid, pos, vel)
+                        plain.apply_external_update(oid, pos, vel)
+                    elif op[0] == OP_INSTALL:
+                        _, script_id, spec = op
+                        installs[script_id] = service.install_query(spec)
+                        plain_qids[script_id] = plain.install_query(spec)
+                    else:
+                        _, script_id = op
+                        service.remove_query(installs[script_id])
+                        plain.remove_query(plain_qids[script_id])
+                service.tick()
+                plain.step()
+                assert step_hash(service.system) == step_hash(plain)
+            service.check_accounting()
+            assert service.backpressure_rejects == 0  # unbounded: no budget
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_engines_agree_under_service(self, shards):
+        if len(ENGINES) < 2:
+            pytest.skip("numpy not installed")
+        steps = 6
+        hashes = {}
+        for engine in ENGINES:
+            system, workload, params = build_system(engine=engine, shards=shards)
+            script = scripted_steps(params, workload, steps)
+            installs = {}
+            with MobiEyesService(system) as service:
+                trace = []
+                for ops in script:
+                    for op in ops:
+                        if op[0] == OP_UPDATE:
+                            service.submit_update(op[1], op[2], op[3])
+                        elif op[0] == OP_INSTALL:
+                            installs[op[1]] = service.install_query(op[2])
+                        else:
+                            service.remove_query(installs[op[1]])
+                    service.tick()
+                    trace.append(step_hash(service.system))
+            hashes[engine] = trace
+        assert hashes["reference"] == hashes["vectorized"]
+
+    def test_budgeted_admission_still_deterministic(self):
+        """A budget spreads the same ops over later ticks -- and a plain
+        sim applying them at those (later) steps matches bit for bit."""
+        system, workload, params = build_system(ingest_budget=2, queue_limit=10)
+        plain, _, _ = build_system()
+        ops = scripted_steps(params, workload, 1, rate=5, churn_every=0)[0]
+        with MobiEyesService(system) as service, plain:
+            tickets = [service.submit_update(op[1], op[2], op[3]) for op in ops]
+            applied = 0
+            for _ in range(4):
+                service.tick()
+                # Mirror exactly the FIFO prefix the service admitted.
+                newly = sum(1 for t in tickets if t.applied) - applied
+                for op in ops[applied : applied + newly]:
+                    plain.apply_external_update(op[1], op[2], op[3])
+                applied += newly
+                plain.step()
+                assert step_hash(service.system) == step_hash(plain)
+            assert applied == len(ops)
+            assert service.deferred_ops > 0  # the budget actually deferred
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_and_accounts(self):
+        system, workload, params = build_system(ingest_budget=2)
+        # Derived bound: budget x pipeline depth (no latency -> depth 1).
+        with MobiEyesService(system) as service:
+            assert service.queue_limit == 2
+            ops = scripted_steps(params, workload, 1, rate=7, churn_every=0)[0]
+            tickets = [service.submit_update(op[1], op[2], op[3]) for op in ops]
+            statuses = [t.status for t in tickets]
+            assert statuses.count("queued") == 2
+            assert statuses.count("rejected") == 5
+            assert service.backpressure_rejects == 5
+            service.check_accounting()
+            service.tick()
+            assert sum(1 for t in tickets if t.applied) == 2
+            service.check_accounting()
+            assert service.counters()["submitted"] == 7
+
+    def test_saturated_uplink_accounting(self):
+        """Sustained over-rate traffic under uplink/downlink latency:
+        rejects accumulate, accounting never leaks, ticks keep advancing."""
+        system, workload, params = build_system(
+            latency=2, ingest_budget=2, shards=2
+        )
+        script = scripted_steps(params, workload, 10, rate=6, churn_every=0)
+        with MobiEyesService(system) as service:
+            assert service.queue_limit == 2 * (1 + 2 + 2)  # budget x depth
+            for ops in script:
+                for op in ops:
+                    service.submit_update(op[1], op[2], op[3])
+                service.tick()
+                service.check_accounting()
+            counters = service.counters()
+            assert counters["backpressure_rejects"] > 0
+            assert counters["submitted"] == 60
+            assert counters["submitted"] == (
+                counters["applied"]
+                + counters["backpressure_rejects"]
+                + counters["queued"]
+            )
+            assert service.system.clock.step == 10
+
+    def test_inflight_gate_defers_whole_tick(self):
+        system, workload, params = build_system(latency=3, inflight_limit=1)
+        with MobiEyesService(system) as service:
+            service.tick()  # prime the latency pipeline: pending > 1
+            assert service.system.transport.pending_count() > 1
+            op = scripted_steps(params, workload, 1, rate=1, churn_every=0)[0][0]
+            ticket = service.submit_update(op[1], op[2], op[3])
+            service.tick()
+            assert not ticket.applied  # gated: nothing admitted this tick
+            assert service.deferred_ticks >= 1
+            assert service.deferred_ops >= 1
+            service.check_accounting()
+
+    def test_explicit_queue_limit_overrides_derivation(self):
+        system, _, _ = build_system(ingest_budget=2, queue_limit=9)
+        with MobiEyesService(system) as service:
+            assert service.queue_limit == 9
+
+    def test_no_budget_means_unbounded(self):
+        system, _, _ = build_system()
+        with MobiEyesService(system) as service:
+            assert service.queue_limit == 0
+
+
+class TestTickets:
+    def test_remove_by_ticket_same_tick(self):
+        system, workload, params = build_system()
+        with MobiEyesService(system) as service:
+            oid = workload.objects[0].oid
+            spec = QuerySpec(oid=oid, region=Circle(0.0, 0.0, 0.5))
+            install = service.install_query(spec)
+            remove = service.remove_query(install)
+            service.tick()
+            assert install.applied and install.qid is not None
+            assert remove.applied and remove.qid == install.qid
+
+    def test_remove_of_never_applied_install_raises(self):
+        system, workload, params = build_system(ingest_budget=2)
+        with MobiEyesService(system) as service:
+            ops = scripted_steps(params, workload, 1, rate=2, churn_every=0)[0]
+            for op in ops:  # fill the (derived, ==2) queue
+                service.submit_update(op[1], op[2], op[3])
+            oid = workload.objects[0].oid
+            rejected = service.install_query(QuerySpec(oid=oid, region=Circle(0, 0, 0.5)))
+            assert rejected.rejected
+            service.tick()
+            service.remove_query(rejected)
+            with pytest.raises(ValueError, match="never applied"):
+                service.tick()
+
+
+class TestServiceCheckpoint:
+    def test_queue_survives_checkpoint_roundtrip(self):
+        """A checkpoint taken mid-service carries the ingest queue; the
+        restored service drains it identically (hash-lockstep)."""
+        system, workload, params = build_system(ingest_budget=1, queue_limit=50)
+        script = scripted_steps(params, workload, 1, rate=3, churn_every=0)[0]
+        with MobiEyesService(system) as service:
+            service.tick()
+            for op in script:
+                service.submit_update(op[1], op[2], op[3])
+            oid = workload.objects[0].oid
+            install = service.install_query(QuerySpec(oid=oid, region=Circle(0, 0, 0.5)))
+            service.remove_query(install)  # queued remove -> queued install link
+            cp = checkpoint(system)
+            with MobiEyesService(restore(cp)) as resumed:
+                assert resumed.queue_depth == service.queue_depth == 5
+                assert resumed.counters() == service.counters()
+                for _ in range(6):
+                    service.tick()
+                    resumed.tick()
+                    assert step_hash(service.system) == step_hash(resumed.system)
+                resumed.check_accounting()
+                assert resumed.queue_depth == 0
+
+    def test_unserviced_system_checkpoints_none(self):
+        system, _, _ = build_system()
+        with system:
+            system.step()
+            cp = checkpoint(system)
+            assert cp.payload["service"] is None
+
+
+class TestConfigValidation:
+    def _config(self, **kw):
+        params = build_params()
+        return MobiEyesConfig(
+            uod=params.uod,
+            alpha=params.alpha,
+            base_station_side=params.base_station_side,
+            **kw,
+        )
+
+    def test_negative_ingest_knobs_rejected(self):
+        for knob in (
+            "ingest_budget_per_step",
+            "ingest_queue_limit",
+            "ingest_inflight_limit",
+        ):
+            with pytest.raises(ValueError):
+                self._config(**{knob: -1})
+
+    def test_run_method_drives_ticker(self):
+        system, _, _ = build_system()
+        with MobiEyesService(system) as service:
+            assert service.run(3) == 3
+            assert service.ticks == 3
+            assert not service.running
